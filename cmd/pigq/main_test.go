@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTSV(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "events.tsv")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTSVSource(t *testing.T) {
+	path := writeTSV(t, "u1\tview\tp1\t40\t0\nu2\tclick\tp2\t10\t5.5\n\nu3\tview\tp1\t7\t0\n")
+	source, err := tsvSource(path, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits := source(0, 2)
+	if len(splits) != 2 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	if len(splits[0].Records) != 2 || len(splits[1].Records) != 1 {
+		t.Fatalf("split sizes = %d, %d", len(splits[0].Records), len(splits[1].Records))
+	}
+	row := splits[0].Records[1].([]any)
+	if row[0] != "u2" || row[3].(float64) != 10 || row[4].(float64) != 5.5 {
+		t.Fatalf("row = %v", row)
+	}
+	// Recycling past EOF keeps unique split IDs.
+	more := source(2, 4)
+	if more[0].ID == splits[0].ID {
+		t.Fatal("recycled split reuses an identity")
+	}
+}
+
+func TestTSVSourceFieldMismatch(t *testing.T) {
+	path := writeTSV(t, "only\ttwo\n")
+	if _, err := tsvSource(path, 5, 2); err == nil {
+		t.Fatal("field-count mismatch accepted")
+	}
+}
+
+func TestTSVSourceMissingFile(t *testing.T) {
+	if _, err := tsvSource("/nonexistent/x.tsv", 5, 2); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunBuiltinQuery(t *testing.T) {
+	if err := run([]string{"-window", "6", "-delta", "2", "-mode", "F", "-slides", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTSVInput(t *testing.T) {
+	var lines string
+	for i := 0; i < 40; i++ {
+		lines += "u1\tview\tp1\t40\t0\nu2\tview\tp2\t50\t0\n"
+	}
+	path := writeTSV(t, lines)
+	if err := run([]string{"-input", path, "-window", "4", "-delta", "1",
+		"-mode", "V", "-slides", "2", "-rows", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-mode", "Z"}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if err := run([]string{"-mode", "F", "-window", "5", "-delta", "2"}); err == nil {
+		t.Fatal("non-divisible fixed window accepted")
+	}
+	if err := run([]string{"-query", "/nonexistent.pig"}); err == nil {
+		t.Fatal("missing query file accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSmallWindow(t *testing.T) {
+	if err := run([]string{"-mode", "F", "-window", "4", "-delta", "2", "-slides", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAppendWithSplitProcessing(t *testing.T) {
+	if err := run([]string{"-mode", "A", "-window", "3", "-delta", "1", "-slides", "1", "-split"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVariable(t *testing.T) {
+	if err := run([]string{"-mode", "V", "-window", "4", "-delta", "1", "-slides", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-mode", "Z"}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if err := run([]string{"-mode", "F", "-window", "5", "-delta", "2"}); err == nil {
+		t.Fatal("non-divisible fixed window accepted")
+	}
+	if err := run([]string{"-workers", "127.0.0.1:1"}); err == nil {
+		t.Fatal("dead worker pool accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Command slider-stream runs an incremental sliding word count over
+// lines read from stdin: a live demonstration of the record-oriented
+// streaming driver on arbitrary input.
+//
+// Usage:
+//
+//	tail -f app.log | slider-stream -split 100 -window 20 -slide 5 -top 10
+//
+// Every slide prints the window's top words and the update's cost. With
+// -slide 0 the window is append-only.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"slider"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slider-stream:", err)
+		os.Exit(1)
+	}
+}
+
+func wordCount() *slider.Job {
+	sum := func(_ string, values []slider.Value) slider.Value {
+		var total int64
+		for _, v := range values {
+			total += v.(int64)
+		}
+		return total
+	}
+	return &slider.Job{
+		Name:       "wordcount",
+		Partitions: 4,
+		Map: func(rec slider.Record, emit slider.Emit) error {
+			for _, w := range strings.Fields(rec.(string)) {
+				emit(strings.ToLower(strings.Trim(w, ".,;:!?\"'()[]")), int64(1))
+			}
+			return nil
+		},
+		Combine:     sum,
+		Reduce:      sum,
+		Commutative: true,
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("slider-stream", flag.ContinueOnError)
+	split := fs.Int("split", 100, "lines per split")
+	window := fs.Int("window", 20, "window length in splits")
+	slide := fs.Int("slide", 5, "slide width in splits (0 = append-only)")
+	top := fs.Int("top", 10, "words to print per window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runNo := 0
+	sink := func(o slider.WindowOutput) error {
+		runNo++
+		type wc struct {
+			word  string
+			count int64
+		}
+		words := make([]wc, 0, len(o.Result.Output))
+		for w, v := range o.Result.Output {
+			words = append(words, wc{w, v.(int64)})
+		}
+		sort.Slice(words, func(i, j int) bool {
+			if words[i].count != words[j].count {
+				return words[i].count > words[j].count
+			}
+			return words[i].word < words[j].word
+		})
+		fmt.Printf("window #%d [splits %d..%d): %d distinct words, update work %v\n",
+			runNo, o.WindowStart, o.WindowEnd, len(words), o.Result.Report.Work.Round(1000))
+		for i, w := range words {
+			if i == *top {
+				break
+			}
+			fmt.Printf("  %6d  %s\n", w.count, w.word)
+		}
+		return nil
+	}
+
+	cw, err := slider.NewCountWindow(slider.CountWindowConfig{
+		Job:             wordCount(),
+		RecordsPerSplit: *split,
+		WindowSplits:    *window,
+		SlideSplits:     *slide,
+	}, sink)
+	if err != nil {
+		return err
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for scanner.Scan() {
+		if err := cw.Push(scanner.Text()); err != nil {
+			return err
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	if runNo == 0 {
+		fmt.Printf("stream ended before the first window filled (%d splits needed)\n", *window)
+	}
+	return nil
+}

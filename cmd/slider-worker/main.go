@@ -1,0 +1,85 @@
+// Command slider-worker serves Slider map tasks over TCP for the
+// built-in demo jobs, so multiple processes (or machines) can share one
+// sliding-window computation's map phase.
+//
+// Usage:
+//
+//	slider-worker -addr 127.0.0.1:7070 &
+//	slider-worker -addr 127.0.0.1:7071 &
+//	slider-demo -workers 127.0.0.1:7070,127.0.0.1:7071
+//
+// Jobs are identified by name; this binary registers "wordcount" (the
+// job slider-demo runs). Embedders register their own jobs with
+// slider.RegisterJob in their own worker binaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"slider"
+)
+
+func wordCount() *slider.Job {
+	sum := func(_ string, values []slider.Value) slider.Value {
+		var total int64
+		for _, v := range values {
+			total += v.(int64)
+		}
+		return total
+	}
+	return &slider.Job{
+		Name:       "wordcount",
+		Partitions: 4,
+		Map: func(rec slider.Record, emit slider.Emit) error {
+			for _, w := range strings.Fields(rec.(string)) {
+				emit(w, int64(1))
+			}
+			return nil
+		},
+		Combine:     sum,
+		Reduce:      sum,
+		Commutative: true,
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slider-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("slider-worker", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	name := fs.String("name", "", "worker name (default: the listen address)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	registry := &slider.JobRegistry{}
+	if err := registry.Register("wordcount", wordCount); err != nil {
+		return err
+	}
+
+	label := *name
+	if label == "" {
+		label = *addr
+	}
+	worker, err := slider.NewWorker(label, *addr, registry)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slider-worker %q serving %v on %s\n", label, registry.Names(), worker.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Printf("slider-worker %q: served %d map task(s), shutting down\n", label, worker.Served())
+	return worker.Close()
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"slider"
+)
+
+func TestWordCountJobContract(t *testing.T) {
+	job := wordCount()
+	samples := []slider.Split{{
+		ID:      "s0",
+		Records: []slider.Record{"a a b", "a b c c"},
+	}}
+	if err := slider.CheckJob(job, samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerServesAndShutsDown(t *testing.T) {
+	registry := &slider.JobRegistry{}
+	if err := registry.Register("wordcount", wordCount); err != nil {
+		t.Fatal(err)
+	}
+	worker, err := slider.NewWorker("t", "127.0.0.1:0", registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := slider.NewWorkerPool("wordcount", []string{worker.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	results, err := pool.RunMap(wordCount(), []slider.Split{
+		{ID: "s0", Records: []slider.Record{"x y x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Records != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+	if worker.Served() != 1 {
+		t.Fatalf("served = %d", worker.Served())
+	}
+	if err := worker.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerMapOutput(t *testing.T) {
+	job := wordCount()
+	var total int64
+	out, err := slider.RunScratch(job, []slider.Split{
+		{ID: "s0", Records: []slider.Record{"go go gopher"}},
+	}, 0, slider.NewRecorder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		total += v.(int64)
+	}
+	if total != 3 || out["go"].(int64) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}

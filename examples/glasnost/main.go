@@ -1,0 +1,68 @@
+// Glasnost measurement-server monitoring (paper §8.2): a 3-month window
+// of network test runs sliding monthly.
+//
+// For every Glasnost measurement server the job computes the median
+// across test runs of the per-run minimum RTT — the distance between the
+// server and the users directed to it. Month volumes fluctuate, so the
+// window is variable-width in records even though it is fixed in time;
+// the folding contraction tree (§3.1) handles that directly.
+//
+// Run with: go run ./examples/glasnost
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"slider"
+	"slider/internal/apps"
+	"slider/internal/workload"
+)
+
+func main() {
+	gen := workload.NewGlasnost(workload.GlasnostConfig{
+		Seed: 11, Servers: 6, RunsPerSplit: 400, SplitsPerMonth: 4,
+	})
+	job := apps.GlasnostMonitor(4)
+	rt, err := slider.New(job, slider.Config{Mode: slider.Variable})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Initial window: months 0–2 (Jan–Mar).
+	var window []slider.Split
+	for m := 0; m < 3; m++ {
+		window = append(window, gen.MonthSplitsVar(m)...)
+	}
+	res, err := rt.Initial(window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep"}
+	printMedians("Jan-Mar", res.Output)
+
+	// Slide month by month: drop the oldest month, add the newest.
+	for slide := 0; slide < 6; slide++ {
+		drop := len(gen.MonthSplitsVar(slide))
+		add := gen.MonthSplitsVar(slide + 3)
+		res, err = rt.Advance(drop, add)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := months[slide+1] + "-" + months[slide+3]
+		fmt.Printf("  (update: dropped %d splits, added %d, work %v)\n",
+			drop, len(add), res.Report.Work.Round(1000))
+		printMedians(label, res.Output)
+	}
+}
+
+func printMedians(window string, out slider.Output) {
+	keys := apps.SortedKeys(out)
+	fmt.Printf("%s median min-RTT per server:", window)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%.0fms", k, out[k].(float64))
+	}
+	fmt.Println()
+}

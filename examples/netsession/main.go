@@ -1,0 +1,77 @@
+// Akamai NetSession log auditing (paper §8.3): variable-width windowing.
+//
+// Hybrid-CDN clients upload tamper-evident logs; a PeerReview-style audit
+// recomputes every log's hash chain and aggregates violations per client
+// group. The window covers one month (four weeks) and slides weekly, but
+// the amount of data per week depends on how many clients were online to
+// upload — a variable-width window (folding contraction trees, §3.1).
+//
+// Run with: go run ./examples/netsession
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slider"
+	"slider/internal/apps"
+	"slider/internal/workload"
+)
+
+func main() {
+	gen := workload.NewNetSession(workload.NetSessionConfig{
+		Seed: 3, Clients: 3000, LogsPerSplit: 40, EntriesPerLog: 250, TamperRate: 0.03,
+	})
+	job := apps.NetSessionAudit(4, 32)
+	rt, err := slider.New(job, slider.Config{Mode: slider.Variable})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const fullWeek = 6 // splits when 100% of clients upload
+	uploadPct := []float64{1.0, 1.0, 1.0, 1.0, 0.9, 0.75, 0.85, 1.0}
+
+	// First month: weeks 1–4.
+	var window []slider.Split
+	weekSizes := make([]int, 0, len(uploadPct))
+	idx := 0
+	for week := 0; week < 4; week++ {
+		ws := gen.WeekSplits(idx, week+1, fullWeek, uploadPct[week])
+		idx += len(ws)
+		weekSizes = append(weekSizes, len(ws))
+		window = append(window, ws...)
+	}
+	res, err := rt.Initial(window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(4, res)
+
+	// Slide weekly: drop the oldest week, add the newest (whose size
+	// depends on client availability).
+	for week := 4; week < len(uploadPct); week++ {
+		add := gen.WeekSplits(idx, week+1, fullWeek, uploadPct[week])
+		idx += len(add)
+		drop := weekSizes[week-4]
+		weekSizes = append(weekSizes, len(add))
+		res, err = rt.Advance(drop, add)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  (week %d: %.0f%% clients online → %d splits in, %d out, work %v)\n",
+			week+1, uploadPct[week]*100, len(add), drop, res.Report.Work.Round(1000))
+		report(week+1, res)
+	}
+}
+
+func report(throughWeek int, res *slider.RunResult) {
+	var logs, entries, violations int64
+	for _, v := range res.Output {
+		s := v.(*apps.AuditSum)
+		logs += s.Logs
+		entries += s.Entries
+		violations += s.Violations
+	}
+	fmt.Printf("audit through week %d: %d logs, %d chain entries verified, %d violation(s)\n",
+		throughWeek, logs, entries, violations)
+}

@@ -1,0 +1,3 @@
+module slider
+
+go 1.22

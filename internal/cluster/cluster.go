@@ -1,0 +1,221 @@
+// Package cluster provides a discrete-event simulator that turns the
+// measured task costs of a job run into an end-to-end running time
+// ("time" in the paper's terminology, §7.1) for a cluster of a given
+// size, under a pluggable scheduling policy.
+//
+// The model mirrors the paper's testbed at the granularity that matters
+// for the evaluation: machines with a fixed number of task slots and
+// per-machine speed factors (stragglers are slow machines), phase
+// barriers between map and contraction/reduce, and a network cost for
+// reading non-local data (e.g. memoized state after a task migration).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"slider/internal/metrics"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes is the number of worker machines.
+	Nodes int
+	// SlotsPerNode is the number of concurrent tasks per machine.
+	SlotsPerNode int
+	// Speed holds per-node speed factors (1.0 = nominal; a straggler
+	// has a factor < 1). Missing entries default to 1.0.
+	Speed []float64
+	// NetBytesPerSec is the simulated network bandwidth used to charge
+	// remote reads when a task runs away from its preferred node.
+	NetBytesPerSec int64
+}
+
+// DefaultConfig mirrors the paper's testbed scale: 24 worker machines
+// with 2 task slots each and a 1 Gb/s network.
+func DefaultConfig() Config {
+	return Config{Nodes: 24, SlotsPerNode: 2, NetBytesPerSec: 125 << 20}
+}
+
+func (c *Config) normalize() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.SlotsPerNode <= 0 {
+		c.SlotsPerNode = 1
+	}
+	if c.NetBytesPerSec <= 0 {
+		c.NetBytesPerSec = 125 << 20
+	}
+}
+
+// View exposes the scheduler-visible cluster state during placement.
+type View interface {
+	// Nodes returns the machine count.
+	Nodes() int
+	// EarliestFree returns the earliest time a slot frees up on node.
+	EarliestFree(node int) time.Duration
+	// EarliestNode returns the node with the globally earliest free slot.
+	EarliestNode() int
+	// Speed returns the node's speed factor.
+	Speed(node int) float64
+}
+
+// Policy decides where each task runs. Implementations live in
+// internal/scheduler.
+type Policy interface {
+	// Place returns the node the task should run on.
+	Place(t metrics.Task, v View) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	// Makespan is the end-to-end running time.
+	Makespan time.Duration
+	// PhaseEnd records when each phase's last task finished.
+	PhaseEnd map[metrics.Phase]time.Duration
+	// Migrations counts tasks placed away from their preferred node.
+	Migrations int
+	// TransferTime is the total simulated network time paid by
+	// migrated tasks.
+	TransferTime time.Duration
+}
+
+// Simulator schedules measured tasks onto the simulated cluster.
+type Simulator struct {
+	cfg Config
+}
+
+// NewSimulator returns a simulator for the given cluster.
+func NewSimulator(cfg Config) *Simulator {
+	cfg.normalize()
+	return &Simulator{cfg: cfg}
+}
+
+// state implements View during a simulation.
+type state struct {
+	cfg      Config
+	slotFree [][]time.Duration // per node, per slot
+}
+
+func (s *state) Nodes() int { return s.cfg.Nodes }
+
+func (s *state) EarliestFree(node int) time.Duration {
+	best := s.slotFree[node][0]
+	for _, f := range s.slotFree[node][1:] {
+		if f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+func (s *state) EarliestNode() int {
+	best, bestT := 0, s.EarliestFree(0)
+	for n := 1; n < s.cfg.Nodes; n++ {
+		if f := s.EarliestFree(n); f < bestT {
+			best, bestT = n, f
+		}
+	}
+	return best
+}
+
+func (s *state) Speed(node int) float64 {
+	if node < len(s.cfg.Speed) && s.cfg.Speed[node] > 0 {
+		return s.cfg.Speed[node]
+	}
+	return 1.0
+}
+
+// assign runs a task on the chosen node's earliest slot, no earlier than
+// notBefore, and returns its completion time and transfer delay.
+func (s *state) assign(t metrics.Task, node int, notBefore time.Duration, netBPS int64) (time.Duration, time.Duration) {
+	slot := 0
+	for i, f := range s.slotFree[node] {
+		if f < s.slotFree[node][slot] {
+			slot = i
+		}
+	}
+	start := s.slotFree[node][slot]
+	if start < notBefore {
+		start = notBefore
+	}
+	var transfer time.Duration
+	if t.PreferredNode >= 0 && node != t.PreferredNode && t.InputBytes > 0 {
+		transfer = time.Duration(float64(t.InputBytes) / float64(netBPS) * float64(time.Second))
+	}
+	dur := time.Duration(float64(t.Cost)/s.Speed(node)) + transfer
+	end := start + dur
+	s.slotFree[node][slot] = end
+	return end, transfer
+}
+
+// Run simulates the execution of the recorded tasks under the policy.
+// Phases are barriers: contraction/reduce tasks start only after every
+// map task finished, matching the shuffle barrier of MapReduce.
+func (s *Simulator) Run(tasks []metrics.Task, policy Policy) Result {
+	st := &state{
+		cfg:      s.cfg,
+		slotFree: make([][]time.Duration, s.cfg.Nodes),
+	}
+	for n := range st.slotFree {
+		st.slotFree[n] = make([]time.Duration, s.cfg.SlotsPerNode)
+	}
+
+	byPhase := map[metrics.Phase][]metrics.Task{}
+	for _, t := range tasks {
+		if t.Reused || t.Cost <= 0 {
+			continue
+		}
+		byPhase[t.Phase] = append(byPhase[t.Phase], t)
+	}
+	res := Result{PhaseEnd: make(map[metrics.Phase]time.Duration)}
+	var barrier time.Duration
+	for _, phase := range []metrics.Phase{metrics.PhaseMap, metrics.PhaseContraction, metrics.PhaseReduce} {
+		phaseTasks := byPhase[phase]
+		if len(phaseTasks) == 0 {
+			continue
+		}
+		// Longest-processing-time order approximates Hadoop's greedy
+		// slot filling for uniform tasks while avoiding pathological
+		// packings.
+		sort.SliceStable(phaseTasks, func(i, j int) bool {
+			return phaseTasks[i].Cost > phaseTasks[j].Cost
+		})
+		var phaseEnd time.Duration
+		for _, t := range phaseTasks {
+			node := policy.Place(t, st)
+			if node < 0 || node >= s.cfg.Nodes {
+				node = st.EarliestNode()
+			}
+			end, transfer := st.assign(t, node, barrier, s.cfg.NetBytesPerSec)
+			if t.PreferredNode >= 0 && node != t.PreferredNode {
+				res.Migrations++
+				res.TransferTime += transfer
+			}
+			if end > phaseEnd {
+				phaseEnd = end
+			}
+		}
+		res.PhaseEnd[phase] = phaseEnd
+		barrier = phaseEnd
+	}
+	res.Makespan = barrier
+	return res
+}
+
+// Validate checks the configuration for obvious mistakes.
+func (c Config) Validate() error {
+	if c.Nodes < 0 || c.SlotsPerNode < 0 {
+		return fmt.Errorf("cluster: negative nodes (%d) or slots (%d)", c.Nodes, c.SlotsPerNode)
+	}
+	for i, s := range c.Speed {
+		if s < 0 {
+			return fmt.Errorf("cluster: node %d has negative speed %f", i, s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"slider/internal/metrics"
+)
+
+// earliest is a trivial policy: always the first-free node.
+type earliest struct{}
+
+func (earliest) Name() string                     { return "earliest" }
+func (earliest) Place(_ metrics.Task, v View) int { return v.EarliestNode() }
+
+// pinned always places on one node.
+type pinned struct{ node int }
+
+func (p pinned) Name() string                     { return "pinned" }
+func (p pinned) Place(_ metrics.Task, _ View) int { return p.node }
+
+func TestEmptyRun(t *testing.T) {
+	sim := NewSimulator(Config{Nodes: 2, SlotsPerNode: 2})
+	res := sim.Run(nil, earliest{})
+	if res.Makespan != 0 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	sim := NewSimulator(Config{Nodes: 2, SlotsPerNode: 1})
+	res := sim.Run([]metrics.Task{
+		{Phase: metrics.PhaseMap, Cost: 42 * time.Millisecond},
+	}, earliest{})
+	if res.Makespan != 42*time.Millisecond {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestPinnedQueues(t *testing.T) {
+	sim := NewSimulator(Config{Nodes: 4, SlotsPerNode: 1})
+	tasks := make([]metrics.Task, 4)
+	for i := range tasks {
+		tasks[i] = metrics.Task{Phase: metrics.PhaseMap, Cost: 10 * time.Millisecond}
+	}
+	res := sim.Run(tasks, pinned{node: 2})
+	if res.Makespan != 40*time.Millisecond {
+		t.Fatalf("makespan = %v, want serialized 40ms", res.Makespan)
+	}
+}
+
+func TestTransferChargedOnMigration(t *testing.T) {
+	cfg := Config{Nodes: 2, SlotsPerNode: 1, NetBytesPerSec: 1 << 20} // 1 MiB/s
+	sim := NewSimulator(cfg)
+	task := metrics.Task{
+		Phase: metrics.PhaseReduce, Cost: 10 * time.Millisecond,
+		PreferredNode: 0, InputBytes: 1 << 20, // 1 MiB → 1 s transfer
+	}
+	local := sim.Run([]metrics.Task{task}, pinned{node: 0})
+	remote := sim.Run([]metrics.Task{task}, pinned{node: 1})
+	if local.TransferTime != 0 || local.Migrations != 0 {
+		t.Fatalf("local run charged transfer: %+v", local)
+	}
+	if remote.Migrations != 1 {
+		t.Fatalf("migrations = %d", remote.Migrations)
+	}
+	wantTransfer := time.Second
+	if remote.TransferTime != wantTransfer {
+		t.Fatalf("transfer = %v, want %v", remote.TransferTime, wantTransfer)
+	}
+	if remote.Makespan != wantTransfer+10*time.Millisecond {
+		t.Fatalf("makespan = %v", remote.Makespan)
+	}
+}
+
+func TestOutOfRangePlacementFallsBack(t *testing.T) {
+	sim := NewSimulator(Config{Nodes: 2, SlotsPerNode: 1})
+	res := sim.Run([]metrics.Task{
+		{Phase: metrics.PhaseMap, Cost: 5 * time.Millisecond},
+	}, pinned{node: 99})
+	if res.Makespan != 5*time.Millisecond {
+		t.Fatalf("makespan = %v (bad node not tolerated)", res.Makespan)
+	}
+}
+
+func TestPhaseOrdering(t *testing.T) {
+	sim := NewSimulator(Config{Nodes: 8, SlotsPerNode: 2})
+	tasks := []metrics.Task{
+		{Phase: metrics.PhaseReduce, Cost: 10 * time.Millisecond},
+		{Phase: metrics.PhaseContraction, Cost: 10 * time.Millisecond},
+		{Phase: metrics.PhaseMap, Cost: 10 * time.Millisecond},
+	}
+	res := sim.Run(tasks, earliest{})
+	// Map < contraction < reduce barriers: 30ms total despite idle slots.
+	if res.Makespan != 30*time.Millisecond {
+		t.Fatalf("makespan = %v, want 30ms (phase barriers)", res.Makespan)
+	}
+	if !(res.PhaseEnd[metrics.PhaseMap] < res.PhaseEnd[metrics.PhaseContraction] &&
+		res.PhaseEnd[metrics.PhaseContraction] < res.PhaseEnd[metrics.PhaseReduce]) {
+		t.Fatalf("phase ends out of order: %v", res.PhaseEnd)
+	}
+}
+
+func TestLPTPacking(t *testing.T) {
+	// One long task and three short ones on two slots: LPT puts the
+	// long task first → makespan = max(long, 3×short) instead of
+	// long + short.
+	sim := NewSimulator(Config{Nodes: 2, SlotsPerNode: 1})
+	tasks := []metrics.Task{
+		{Phase: metrics.PhaseMap, Cost: 10 * time.Millisecond},
+		{Phase: metrics.PhaseMap, Cost: 10 * time.Millisecond},
+		{Phase: metrics.PhaseMap, Cost: 10 * time.Millisecond},
+		{Phase: metrics.PhaseMap, Cost: 30 * time.Millisecond},
+	}
+	res := sim.Run(tasks, earliest{})
+	if res.Makespan != 30*time.Millisecond {
+		t.Fatalf("makespan = %v, want 30ms", res.Makespan)
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	sim := NewSimulator(Config{})
+	res := sim.Run([]metrics.Task{{Phase: metrics.PhaseMap, Cost: time.Millisecond}}, earliest{})
+	if res.Makespan != time.Millisecond {
+		t.Fatalf("zero config misbehaved: %v", res.Makespan)
+	}
+}
+
+func TestSpeedDefaultsToOne(t *testing.T) {
+	sim := NewSimulator(Config{Nodes: 3, SlotsPerNode: 1, Speed: []float64{0.5}})
+	// Node 0 is slow; nodes 1,2 default to speed 1.
+	res := sim.Run([]metrics.Task{
+		{Phase: metrics.PhaseMap, Cost: 10 * time.Millisecond},
+	}, pinned{node: 1})
+	if res.Makespan != 10*time.Millisecond {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}

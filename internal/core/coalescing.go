@@ -1,0 +1,144 @@
+package core
+
+// CoalescingTree is the coalescing contraction tree for append-only
+// windows (§4.2). The window only grows: each run appends new map outputs,
+// already combined into a single payload C′. The tree degenerates into an
+// accumulator: the new root combines the previous root with C′, so an
+// incremental run costs a single combiner call regardless of history
+// length.
+//
+// Split processing (§4): in foreground mode the final Reduce runs directly
+// on the *union* of the previous root and C′ (no combine on the critical
+// path); the background step then folds C′ into the root for the next run.
+//
+// CoalescingTree is not safe for concurrent use.
+type CoalescingTree[T any] struct {
+	merge   MergeFunc[T]
+	root    T
+	hasRoot bool
+	pending T // C′ awaiting the background fold (split mode)
+	hasPend bool
+	stats   Stats
+}
+
+// NewCoalescing returns an empty coalescing tree.
+func NewCoalescing[T any](merge MergeFunc[T]) *CoalescingTree[T] {
+	return &CoalescingTree[T]{merge: merge}
+}
+
+// Append folds the combined new data c into the window and returns the new
+// root payload (foreground-only mode, Figure 5a).
+func (c *CoalescingTree[T]) Append(payload T) T {
+	if c.hasPend {
+		// A split-mode append was left un-backgrounded; fold it first
+		// so the window stays correct.
+		c.foldPending()
+	}
+	if !c.hasRoot {
+		c.root = payload
+		c.hasRoot = true
+	} else {
+		c.root = c.merge(c.root, payload)
+		c.stats.Merges++
+		c.stats.NodesRecomputed++
+	}
+	return c.root
+}
+
+// AppendSplit performs the foreground step of split mode: it records C′
+// and returns the payload(s) the final Reduce should union — the previous
+// root (if any) and C′. No combiner call happens on the critical path.
+// Call Background afterwards to fold C′ into the root.
+func (c *CoalescingTree[T]) AppendSplit(payload T) []T {
+	if c.hasPend {
+		c.foldPending()
+	}
+	c.pending = payload
+	c.hasPend = true
+	if !c.hasRoot {
+		return []T{payload}
+	}
+	return []T{c.root, payload}
+}
+
+// Background folds the pending C′ into the root, preparing the next run
+// (Figure 5b). It is a no-op when nothing is pending.
+func (c *CoalescingTree[T]) Background() {
+	c.foldPending()
+}
+
+func (c *CoalescingTree[T]) foldPending() {
+	if !c.hasPend {
+		return
+	}
+	if !c.hasRoot {
+		c.root = c.pending
+		c.hasRoot = true
+	} else {
+		c.root = c.merge(c.root, c.pending)
+		c.stats.Merges++
+		c.stats.NodesRecomputed++
+	}
+	var zero T
+	c.pending = zero
+	c.hasPend = false
+}
+
+// Root returns the combined payload of everything appended so far. When a
+// split-mode append is pending, the returned payload excludes it (the
+// union is what AppendSplit handed to the caller).
+func (c *CoalescingTree[T]) Root() (T, bool) {
+	if !c.hasRoot {
+		var zero T
+		return zero, false
+	}
+	return c.root, true
+}
+
+// Pending reports whether a split-mode append awaits its background fold.
+func (c *CoalescingTree[T]) Pending() bool { return c.hasPend }
+
+// Stats returns the accumulated work counters.
+func (c *CoalescingTree[T]) Stats() Stats { return c.stats }
+
+// ResetStats clears the work counters.
+func (c *CoalescingTree[T]) ResetStats() { c.stats = Stats{} }
+
+// NodeCount returns the number of materialized payloads (space accounting
+// for Figure 13c): at most the root and one pending payload.
+func (c *CoalescingTree[T]) NodeCount() int {
+	n := 0
+	if c.hasRoot {
+		n++
+	}
+	if c.hasPend {
+		n++
+	}
+	return n
+}
+
+// ForEachPayload visits every materialized payload (space accounting).
+func (c *CoalescingTree[T]) ForEachPayload(fn func(T)) {
+	if c.hasRoot {
+		fn(c.root)
+	}
+	if c.hasPend {
+		fn(c.pending)
+	}
+}
+
+// PendingPayload returns the split-mode payload awaiting its background
+// fold, if any (checkpointing support).
+func (c *CoalescingTree[T]) PendingPayload() (T, bool) {
+	if !c.hasPend {
+		var zero T
+		return zero, false
+	}
+	return c.pending, true
+}
+
+// Restore reinstates a checkpointed tree state.
+func (c *CoalescingTree[T]) Restore(root T, hasRoot bool, pending T, hasPend bool) {
+	c.root, c.hasRoot = root, hasRoot
+	c.pending, c.hasPend = pending, hasPend
+}

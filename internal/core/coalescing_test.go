@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoalescingAppend(t *testing.T) {
+	tr := NewCoalescing(concat)
+	if _, ok := tr.Root(); ok {
+		t.Fatal("empty tree should have no root")
+	}
+	root := tr.Append([]int{0})
+	wantSeq(t, root, 0, 1)
+	root = tr.Append([]int{1})
+	wantSeq(t, root, 0, 2)
+	root = tr.Append([]int{2})
+	wantSeq(t, root, 0, 3)
+	if s := tr.Stats(); s.Merges != 2 {
+		t.Fatalf("merges = %d, want 2 (one per append after the first)", s.Merges)
+	}
+}
+
+func TestCoalescingSplitProcessing(t *testing.T) {
+	tr := NewCoalescing(concat)
+	union := tr.AppendSplit([]int{0})
+	if len(union) != 1 {
+		t.Fatalf("first split append union has %d payloads, want 1", len(union))
+	}
+	if !tr.Pending() {
+		t.Fatal("append should be pending")
+	}
+	tr.Background()
+	if tr.Pending() {
+		t.Fatal("background did not clear pending")
+	}
+	root, _ := tr.Root()
+	wantSeq(t, root, 0, 1)
+
+	union = tr.AppendSplit([]int{1})
+	if len(union) != 2 {
+		t.Fatalf("union has %d payloads, want 2 (old root + C')", len(union))
+	}
+	// The union, concatenated, must be the full window even before the
+	// background step runs.
+	joined := concat(union[0], union[1])
+	wantSeq(t, joined, 0, 2)
+	tr.Background()
+	root, _ = tr.Root()
+	wantSeq(t, root, 0, 2)
+}
+
+func TestCoalescingForegroundIsZeroMerges(t *testing.T) {
+	tr := NewCoalescing(concat)
+	tr.Append([]int{0})
+	tr.ResetStats()
+	tr.AppendSplit([]int{1})
+	if s := tr.Stats(); s.Merges != 0 {
+		t.Fatalf("foreground merges = %d, want 0", s.Merges)
+	}
+	tr.Background()
+	if s := tr.Stats(); s.Merges != 1 {
+		t.Fatalf("after background merges = %d, want 1", s.Merges)
+	}
+}
+
+func TestCoalescingPendingAutoFold(t *testing.T) {
+	// Appending without running Background must still produce a correct
+	// window: the pending payload is folded in automatically.
+	tr := NewCoalescing(concat)
+	tr.AppendSplit([]int{0})
+	root := tr.Append([]int{1})
+	wantSeq(t, root, 0, 2)
+
+	tr2 := NewCoalescing(concat)
+	tr2.AppendSplit([]int{0})
+	union := tr2.AppendSplit([]int{1})
+	joined := union[0]
+	for _, u := range union[1:] {
+		joined = concat(joined, u)
+	}
+	wantSeq(t, joined, 0, 2)
+}
+
+// TestCoalescingPropertyEquivalence: split mode and plain mode produce the
+// same window for any append sequence.
+func TestCoalescingPropertyEquivalence(t *testing.T) {
+	property := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		plain := NewCoalescing(concat)
+		split := NewCoalescing(concat)
+		next := 0
+		for _, s := range sizes {
+			k := int(s%5) + 1
+			payload := make([]int, 0, k)
+			for i := 0; i < k; i++ {
+				payload = append(payload, next)
+				next++
+			}
+			plain.Append(payload)
+			union := split.AppendSplit(payload)
+			joined := union[0]
+			for _, u := range union[1:] {
+				joined = concat(joined, u)
+			}
+			split.Background()
+			pr, _ := plain.Root()
+			sr, _ := split.Root()
+			if len(pr) != len(sr) || len(pr) != len(joined) {
+				return false
+			}
+			for i := range pr {
+				if pr[i] != sr[i] || pr[i] != joined[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingNodeCount(t *testing.T) {
+	tr := NewCoalescing(concat)
+	if tr.NodeCount() != 0 {
+		t.Fatal("empty tree should hold no payloads")
+	}
+	tr.Append([]int{0})
+	if tr.NodeCount() != 1 {
+		t.Fatalf("node count = %d, want 1", tr.NodeCount())
+	}
+	tr.AppendSplit([]int{1})
+	if tr.NodeCount() != 2 {
+		t.Fatalf("node count with pending = %d, want 2", tr.NodeCount())
+	}
+	tr.Background()
+	if tr.NodeCount() != 1 {
+		t.Fatalf("node count after background = %d, want 1", tr.NodeCount())
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestTreeEquivalenceFixedWidth drives the same fixed-width slide
+// schedule through every tree that supports it and checks they agree on
+// the window multiset — the cross-implementation oracle.
+func TestTreeEquivalenceFixedWidth(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12) // buckets
+
+		rot := NewRotating(multiset, n)
+		if err := rot.Init(seqPayloads(0, n)); err != nil {
+			return false
+		}
+		fold := NewFolding(multiset)
+		fold.Init(seqPayloads(0, n))
+		rnd := NewRandomizedFolding(multiset, uint64(seed)+3)
+		rnd.Init(seqItems(0, n))
+		straw := NewStrawman(multiset)
+		straw.Build(seqItems(0, n))
+
+		lo, hi := 0, n
+		for step := 0; step < 25; step++ {
+			add := seqPayloads(hi, hi+1)
+			addItems := seqItems(hi, hi+1)
+			if err := rot.Rotate(add[0]); err != nil {
+				return false
+			}
+			if err := fold.Slide(1, add); err != nil {
+				return false
+			}
+			if err := rnd.Slide(1, addItems); err != nil {
+				return false
+			}
+			lo++
+			hi++
+			straw.Build(seqItems(lo, hi))
+
+			want := make([]int, 0, n)
+			for v := lo; v < hi; v++ {
+				want = append(want, v)
+			}
+			for name, tree := range map[string]interface{ root() ([]int, bool) }{
+				"rotating":   rootFn(rot.Root),
+				"folding":    rootFn(fold.Root),
+				"randomized": rootFn(rnd.Root),
+				"strawman":   rootFn(straw.Root),
+			} {
+				got, ok := tree.root()
+				if !ok {
+					t.Logf("seed %d step %d: %s has no root", seed, step, name)
+					return false
+				}
+				g := append([]int(nil), got...)
+				sort.Ints(g)
+				if len(g) != len(want) {
+					t.Logf("seed %d step %d: %s size %d want %d", seed, step, name, len(g), len(want))
+					return false
+				}
+				for i := range g {
+					if g[i] != want[i] {
+						t.Logf("seed %d step %d: %s diverges at %d", seed, step, name, i)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rootFn adapts a tree's Root method to a common shape.
+type rootFn func() ([]int, bool)
+
+func (f rootFn) root() ([]int, bool) { return f() }

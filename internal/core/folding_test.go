@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// concat is an associative, non-commutative merge: any ordering mistake in
+// a tree shows up as a wrong root.
+func concat(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// seqPayloads builds singleton payloads [lo, hi).
+func seqPayloads(lo, hi int) [][]int {
+	out := make([][]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, []int{i})
+	}
+	return out
+}
+
+func wantSeq(t *testing.T, got []int, lo, hi int) {
+	t.Helper()
+	if len(got) != hi-lo {
+		t.Fatalf("root has %d elements, want %d (window [%d,%d))", len(got), hi-lo, lo, hi)
+	}
+	for i, v := range got {
+		if v != lo+i {
+			t.Fatalf("root[%d] = %d, want %d", i, v, lo+i)
+		}
+	}
+}
+
+func TestFoldingInitialRun(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 33, 100} {
+		tr := NewFolding(concat)
+		tr.Init(seqPayloads(0, m))
+		root, ok := tr.Root()
+		if !ok {
+			t.Fatalf("m=%d: empty root", m)
+		}
+		wantSeq(t, root, 0, m)
+		if h, want := tr.Height(), ceilLog2(m); h != want {
+			t.Errorf("m=%d: height %d, want %d", m, h, want)
+		}
+		if tr.Live() != m {
+			t.Errorf("m=%d: live %d", m, tr.Live())
+		}
+	}
+}
+
+func TestFoldingEmptyInit(t *testing.T) {
+	tr := NewFolding(concat)
+	tr.Init(nil)
+	if _, ok := tr.Root(); ok {
+		t.Fatal("empty tree should have no root")
+	}
+	if tr.Live() != 0 {
+		t.Fatalf("live = %d, want 0", tr.Live())
+	}
+}
+
+func TestFoldingAppendGrows(t *testing.T) {
+	tr := NewFolding(concat)
+	tr.Init(seqPayloads(0, 3))
+	// One void slot (capacity 4): first append fills it.
+	if err := tr.Slide(0, seqPayloads(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("height after filling = %d, want 2", tr.Height())
+	}
+	// Next append must unfold to height 3 (Figure 2, T2).
+	if err := tr.Slide(0, seqPayloads(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("height after unfold = %d, want 3", tr.Height())
+	}
+	root, _ := tr.Root()
+	wantSeq(t, root, 0, 5)
+}
+
+func TestFoldingDropShrinks(t *testing.T) {
+	tr := NewFolding(concat, WithRebuildFactor[[]int](0))
+	tr.Init(seqPayloads(0, 8))
+	if tr.Height() != 3 {
+		t.Fatalf("height = %d, want 3", tr.Height())
+	}
+	// Dropping the left half promotes the right child (Figure 2, T3).
+	if err := tr.Slide(4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("height after fold = %d, want 2", tr.Height())
+	}
+	root, _ := tr.Root()
+	wantSeq(t, root, 4, 8)
+}
+
+func TestFoldingFigure2Scenario(t *testing.T) {
+	// Reproduces the worked example of Figure 2: T1 init {0,1,2},
+	// T2 add {3,4}, T3 add {5,6,7} remove {1,2,3}.
+	tr := NewFolding(concat, WithRebuildFactor[[]int](0))
+	tr.Init(seqPayloads(0, 3))
+	if tr.Height() != 2 {
+		t.Fatalf("T1 height = %d, want 2", tr.Height())
+	}
+	if err := tr.Slide(0, seqPayloads(3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 3 {
+		t.Fatalf("T2 height = %d, want 3", tr.Height())
+	}
+	// The example drops 0 first (T2 shows node 0 already removed at T3's
+	// start in the text's running window [1..4] + adds); we follow the
+	// caption: add 3 then remove 3 oldest of {0,1,2,3,4}.
+	if err := tr.Slide(3, seqPayloads(5, 8)); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tr.Root()
+	wantSeq(t, root, 3, 8)
+}
+
+func TestFoldingUnderflow(t *testing.T) {
+	tr := NewFolding(concat)
+	tr.Init(seqPayloads(0, 4))
+	if err := tr.Slide(5, nil); err != ErrUnderflow {
+		t.Fatalf("err = %v, want ErrUnderflow", err)
+	}
+	if err := tr.Slide(-1, nil); err != ErrUnderflow {
+		t.Fatalf("err = %v, want ErrUnderflow", err)
+	}
+}
+
+func TestFoldingDrainAndRefill(t *testing.T) {
+	tr := NewFolding(concat)
+	tr.Init(seqPayloads(0, 4))
+	if err := tr.Slide(4, seqPayloads(4, 6)); err != nil {
+		t.Fatal(err)
+	}
+	root, ok := tr.Root()
+	if !ok {
+		t.Fatal("no root after refill")
+	}
+	wantSeq(t, root, 4, 6)
+
+	// Drain to empty with no refill.
+	if err := tr.Slide(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Root(); ok {
+		t.Fatal("drained tree should have no root")
+	}
+	// And grow again from empty.
+	if err := tr.Slide(0, seqPayloads(6, 9)); err != nil {
+		t.Fatal(err)
+	}
+	root, _ = tr.Root()
+	wantSeq(t, root, 6, 9)
+}
+
+func TestFoldingRebuildFactor(t *testing.T) {
+	tr := NewFolding(concat, WithRebuildFactor[[]int](4))
+	tr.Init(seqPayloads(0, 64))
+	// Shrink to 2 live leaves that straddle the root so folding cannot
+	// reduce the height; the rebuild factor must kick in.
+	if err := tr.Slide(31, nil); err != nil {
+		t.Fatal(err)
+	}
+	// live=33, slots=64: fine. Now drop 31 more -> live=2.
+	if err := tr.Slide(31, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Live() != 2 {
+		t.Fatalf("live = %d, want 2", tr.Live())
+	}
+	if tr.Slots() > 4*tr.Live() {
+		t.Fatalf("slots = %d live = %d: rebuild did not trigger", tr.Slots(), tr.Live())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height = %d, want 1 after rebuild", tr.Height())
+	}
+	root, _ := tr.Root()
+	wantSeq(t, root, 62, 64)
+}
+
+func TestFoldingNoRebuildWhenDisabled(t *testing.T) {
+	tr := NewFolding(concat, WithRebuildFactor[[]int](0))
+	tr.Init(seqPayloads(0, 64))
+	if err := tr.Slide(62, nil); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tr.Root()
+	wantSeq(t, root, 62, 64)
+	// 2 live leaves in the right half of a 64-slot tree: folding can
+	// reach 32 slots at best; with the right-most leaves it stays put.
+	if tr.Slots() < 2 {
+		t.Fatalf("slots = %d", tr.Slots())
+	}
+}
+
+func TestFoldingIncrementalWorkIsLogarithmic(t *testing.T) {
+	const m = 1 << 12
+	tr := NewFolding(concat)
+	tr.Init(seqPayloads(0, m))
+	tr.ResetStats()
+	if err := tr.Slide(1, seqPayloads(m, m+1)); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	// One drop + one add touch at most ~2·height paths plus the unfold
+	// join; far below the ~m merges of a from-scratch run.
+	maxMerges := int64(4 * (tr.Height() + 1))
+	if s.Merges > maxMerges {
+		t.Fatalf("merges = %d, want ≤ %d (height %d)", s.Merges, maxMerges, tr.Height())
+	}
+}
+
+// TestFoldingPropertyRandomSlides drives random slide sequences and checks
+// the root against a reference window after every step.
+func TestFoldingPropertyRandomSlides(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewFolding(concat)
+		m := 1 + rng.Intn(40)
+		tr.Init(seqPayloads(0, m))
+		lo, hi := 0, m
+		for step := 0; step < 30; step++ {
+			drop := rng.Intn(hi - lo + 1)
+			add := rng.Intn(20)
+			if err := tr.Slide(drop, seqPayloads(hi, hi+add)); err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			lo += drop
+			hi += add
+			root, ok := tr.Root()
+			if lo == hi {
+				if ok {
+					t.Logf("seed %d step %d: expected empty root", seed, step)
+					return false
+				}
+				continue
+			}
+			if !ok || len(root) != hi-lo {
+				t.Logf("seed %d step %d: root size %d want %d", seed, step, len(root), hi-lo)
+				return false
+			}
+			for i, v := range root {
+				if v != lo+i {
+					t.Logf("seed %d step %d: root[%d]=%d want %d", seed, step, i, v, lo+i)
+					return false
+				}
+			}
+			if want := ceilLog2(tr.Slots()); tr.Slots() > 0 && tr.Height() != want {
+				t.Logf("seed %d step %d: height %d want %d (slots %d)", seed, step, tr.Height(), want, tr.Slots())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldingStatsReset(t *testing.T) {
+	tr := NewFolding(concat)
+	tr.Init(seqPayloads(0, 8))
+	if tr.Stats().Merges == 0 {
+		t.Fatal("initial run performed no merges")
+	}
+	tr.ResetStats()
+	if s := tr.Stats(); s.Merges != 0 || s.NodesRecomputed != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}
+
+func TestFoldingNodeCount(t *testing.T) {
+	tr := NewFolding(concat)
+	tr.Init(seqPayloads(0, 4))
+	// 4 leaves + 2 internals + root = 7 non-void nodes.
+	if n := tr.NodeCount(); n != 7 {
+		t.Fatalf("node count = %d, want 7", n)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// mlCompute builds a 2-partition payload set for a numbered input.
+func mlCompute(i int) ([][]int, error) {
+	return [][]int{{i}, {i * 10}}, nil
+}
+
+func TestMultiLevelComputesAndAggregates(t *testing.T) {
+	ml := NewMultiLevel(concat, 2)
+	roots, ok, err := ml.Run([]uint64{100, 200, 300}, mlCompute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok[0] || !ok[1] {
+		t.Fatal("missing roots")
+	}
+	wantSeq(t, roots[0], 0, 3)
+	if len(roots[1]) != 3 || roots[1][2] != 20 {
+		t.Fatalf("partition 1 root = %v", roots[1])
+	}
+	s := ml.Stats()
+	if s.InputsComputed != 3 || s.InputsReused != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMultiLevelReusesUnchangedInputs(t *testing.T) {
+	ml := NewMultiLevel(concat, 1)
+	compute := func(i int) ([][]int, error) { return [][]int{{i}}, nil }
+	if _, _, err := ml.Run([]uint64{1, 2, 3, 4}, compute); err != nil {
+		t.Fatal(err)
+	}
+	// Change only input 2 (fingerprint 99): exactly one compute.
+	before := ml.Stats()
+	boom := errors.New("computed a reused input")
+	_, _, err := ml.Run([]uint64{1, 99, 3, 4}, func(i int) ([][]int, error) {
+		if i != 1 {
+			return nil, boom
+		}
+		return [][]int{{42}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ml.Stats()
+	if d.InputsComputed-before.InputsComputed != 1 {
+		t.Fatalf("computed %d inputs, want 1", d.InputsComputed-before.InputsComputed)
+	}
+	if d.InputsReused-before.InputsReused != 3 {
+		t.Fatalf("reused %d inputs, want 3", d.InputsReused-before.InputsReused)
+	}
+}
+
+func TestMultiLevelDuplicateFingerprints(t *testing.T) {
+	ml := NewMultiLevel(concat, 1)
+	calls := 0
+	roots, ok, err := ml.Run([]uint64{7, 7, 7}, func(i int) ([][]int, error) {
+		calls++
+		return [][]int{{int(1)}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("identical inputs computed %d times, want 1", calls)
+	}
+	if !ok[0] || len(roots[0]) != 3 {
+		t.Fatalf("root = %v", roots[0])
+	}
+}
+
+func TestMultiLevelMemoGC(t *testing.T) {
+	ml := NewMultiLevel(concat, 1)
+	compute := func(i int) ([][]int, error) { return [][]int{{i}}, nil }
+	if _, _, err := ml.Run([]uint64{1, 2, 3}, compute); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ml.Run([]uint64{4, 5}, compute); err != nil {
+		t.Fatal(err)
+	}
+	if n := ml.MemoEntries(); n != 2 {
+		t.Fatalf("memo holds %d entries, want 2 (generational GC)", n)
+	}
+}
+
+func TestMultiLevelEmptyRun(t *testing.T) {
+	ml := NewMultiLevel(concat, 2)
+	roots, ok, err := ml.Run(nil, mlCompute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok[0] || ok[1] {
+		t.Fatalf("empty run produced roots: %v", roots)
+	}
+}
+
+func TestMultiLevelComputeError(t *testing.T) {
+	ml := NewMultiLevel(concat, 1)
+	boom := errors.New("boom")
+	if _, _, err := ml.Run([]uint64{1}, func(int) ([][]int, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultiLevelPartitionMismatch(t *testing.T) {
+	ml := NewMultiLevel(concat, 3)
+	_, _, err := ml.Run([]uint64{1}, func(int) ([][]int, error) {
+		return [][]int{{1}}, nil // 1 partition instead of 3
+	})
+	if !errors.Is(err, ErrPartitionMismatch) {
+		t.Fatalf("err = %v, want ErrPartitionMismatch", err)
+	}
+}
+
+func TestMultiLevelTreeReuse(t *testing.T) {
+	// Unchanged runs must reuse strawman subtrees: zero merges on the
+	// second pass.
+	ml := NewMultiLevel(concat, 1)
+	compute := func(i int) ([][]int, error) { return [][]int{{i}}, nil }
+	fps := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, _, err := ml.Run(fps, compute); err != nil {
+		t.Fatal(err)
+	}
+	before := ml.TreeStats()
+	if _, _, err := ml.Run(fps, compute); err != nil {
+		t.Fatal(err)
+	}
+	after := ml.TreeStats()
+	if after.Merges != before.Merges {
+		t.Fatalf("identical rerun performed %d merges", after.Merges-before.Merges)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqItems(lo, hi int) []Item[[]int] {
+	out := make([]Item[[]int], 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, Item[[]int]{ID: uint64(i), Payload: []int{i}})
+	}
+	return out
+}
+
+func TestRandomizedInit(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 8, 16, 100} {
+		tr := NewRandomizedFolding(concat, 42)
+		tr.Init(seqItems(0, m))
+		root, ok := tr.Root()
+		if !ok {
+			t.Fatalf("m=%d: no root", m)
+		}
+		wantSeq(t, root, 0, m)
+		if tr.Live() != m {
+			t.Fatalf("m=%d: live %d", m, tr.Live())
+		}
+	}
+}
+
+func TestRandomizedEmpty(t *testing.T) {
+	tr := NewRandomizedFolding(concat, 42)
+	tr.Init(nil)
+	if _, ok := tr.Root(); ok {
+		t.Fatal("empty tree should have no root")
+	}
+	if err := tr.Slide(0, seqItems(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tr.Root()
+	wantSeq(t, root, 0, 3)
+}
+
+func TestRandomizedSlide(t *testing.T) {
+	tr := NewRandomizedFolding(concat, 42)
+	tr.Init(seqItems(0, 16))
+	if err := tr.Slide(2, seqItems(16, 18)); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tr.Root()
+	wantSeq(t, root, 2, 18)
+}
+
+func TestRandomizedUnderflow(t *testing.T) {
+	tr := NewRandomizedFolding(concat, 42)
+	tr.Init(seqItems(0, 4))
+	if err := tr.Slide(5, nil); err != ErrUnderflow {
+		t.Fatalf("err = %v, want ErrUnderflow", err)
+	}
+}
+
+func TestRandomizedExpectedHeight(t *testing.T) {
+	// Expected height is log2(n); check it stays within a generous
+	// constant factor across seeds.
+	const n = 1 << 12
+	for seed := uint64(1); seed <= 5; seed++ {
+		tr := NewRandomizedFolding(concat, seed)
+		tr.Init(seqItems(0, n))
+		h := tr.Height()
+		if h < 6 || h > 40 {
+			t.Fatalf("seed %d: height %d out of expected range for n=%d", seed, h, n)
+		}
+	}
+}
+
+func TestRandomizedHeightDropsWithWindow(t *testing.T) {
+	// The §3.2 scenario: shrink the window from n to a tiny remainder;
+	// the randomized tree's height must track the *current* size.
+	const n = 1 << 10
+	tr := NewRandomizedFolding(concat, 7)
+	tr.Init(seqItems(0, n))
+	tall := tr.Height()
+	if err := tr.Slide(n-4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() >= tall {
+		t.Fatalf("height %d did not drop from %d after shrinking to 4 leaves", tr.Height(), tall)
+	}
+	if tr.Height() > 6 {
+		t.Fatalf("height %d too large for 4 leaves", tr.Height())
+	}
+	root, _ := tr.Root()
+	wantSeq(t, root, n-4, n)
+}
+
+func TestRandomizedReuseOnUnchangedSuffix(t *testing.T) {
+	// Sliding by a small delta must reuse most interior payloads: the
+	// merge count per slide should be near the height, not the size.
+	const n = 1 << 12
+	tr := NewRandomizedFolding(concat, 99)
+	tr.Init(seqItems(0, n))
+	tr.ResetStats()
+	if err := tr.Slide(1, seqItems(n, n+1)); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	// Group sizes are geometric; paths from two changed leaves touch
+	// O(height) groups of expected size 2. Allow a wide margin.
+	if s.Merges > 40*int64(tr.Height()+1) {
+		t.Fatalf("merges = %d for a 1-in-%d slide (height %d): no reuse?", s.Merges, n, tr.Height())
+	}
+	if s.NodesReused == 0 {
+		t.Fatal("no nodes reused on a tiny slide")
+	}
+}
+
+func TestRandomizedDeterministicAcrossRebuilds(t *testing.T) {
+	// Two trees with the same seed and the same final window must agree
+	// on structure (height) and root payload, regardless of history —
+	// the skip-list history-independence property.
+	a := NewRandomizedFolding(concat, 5)
+	a.Init(seqItems(0, 64))
+	if err := a.Slide(32, seqItems(64, 80)); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewRandomizedFolding(concat, 5)
+	b.Init(seqItems(32, 80))
+
+	ra, _ := a.Root()
+	rb, _ := b.Root()
+	if len(ra) != len(rb) {
+		t.Fatalf("root sizes differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("roots differ at %d", i)
+		}
+	}
+	if a.Height() != b.Height() {
+		t.Fatalf("heights differ: %d vs %d (structure is history-dependent)", a.Height(), b.Height())
+	}
+}
+
+// TestRandomizedPropertyRandomSlides drives random slides and checks the
+// root ordering invariant.
+func TestRandomizedPropertyRandomSlides(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewRandomizedFolding(concat, uint64(seed)+1)
+		m := 1 + rng.Intn(40)
+		tr.Init(seqItems(0, m))
+		lo, hi := 0, m
+		for step := 0; step < 25; step++ {
+			drop := rng.Intn(hi - lo + 1)
+			add := rng.Intn(15)
+			if err := tr.Slide(drop, seqItems(hi, hi+add)); err != nil {
+				return false
+			}
+			lo += drop
+			hi += add
+			root, ok := tr.Root()
+			if lo == hi {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || len(root) != hi-lo {
+				return false
+			}
+			for i, v := range root {
+				if v != lo+i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// multiset is a commutative merge: element union with counts, checked
+// order-insensitively (rotating trees require commutativity, §4.1).
+func multiset(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+func wantMultiset(t *testing.T, got []int, want []int) {
+	t.Helper()
+	g := append([]int(nil), got...)
+	w := append([]int(nil), want...)
+	sort.Ints(g)
+	sort.Ints(w)
+	if len(g) != len(w) {
+		t.Fatalf("root has %d elements, want %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("root multiset mismatch at %d: %d vs %d", i, g[i], w[i])
+		}
+	}
+}
+
+func TestRotatingInit(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 16} {
+		tr := NewRotating(multiset, n)
+		if err := tr.Init(seqPayloads(0, n)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		root, ok := tr.Root()
+		if !ok {
+			t.Fatalf("n=%d: no root", n)
+		}
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		wantMultiset(t, root, want)
+		if h, wantH := tr.Height(), ceilLog2(ceilPow2(n)); h != wantH {
+			t.Errorf("n=%d: height %d, want %d", n, h, wantH)
+		}
+	}
+}
+
+func TestRotatingInitWrongSize(t *testing.T) {
+	tr := NewRotating(multiset, 4)
+	if err := tr.Init(seqPayloads(0, 3)); err != ErrWindowNotFull {
+		t.Fatalf("err = %v, want ErrWindowNotFull", err)
+	}
+}
+
+func TestRotatingBeforeInit(t *testing.T) {
+	tr := NewRotating(multiset, 4)
+	if err := tr.Rotate([]int{9}); err != ErrWindowNotFull {
+		t.Fatalf("Rotate err = %v, want ErrWindowNotFull", err)
+	}
+	if err := tr.PrepareBackground(); err != ErrWindowNotFull {
+		t.Fatalf("PrepareBackground err = %v, want ErrWindowNotFull", err)
+	}
+	if _, ok := tr.Root(); ok {
+		t.Fatal("uninitialized tree should have no root")
+	}
+}
+
+func TestRotatingSlides(t *testing.T) {
+	const n = 4
+	tr := NewRotating(multiset, n)
+	if err := tr.Init(seqPayloads(0, n)); err != nil {
+		t.Fatal(err)
+	}
+	for next := n; next < n+10; next++ {
+		if err := tr.Rotate([]int{next}); err != nil {
+			t.Fatal(err)
+		}
+		root, _ := tr.Root()
+		want := make([]int, 0, n)
+		for v := next - n + 1; v <= next; v++ {
+			want = append(want, v)
+		}
+		wantMultiset(t, root, want)
+	}
+}
+
+func TestRotatingWorkIsLogarithmic(t *testing.T) {
+	const n = 1024
+	tr := NewRotating(multiset, n)
+	if err := tr.Init(seqPayloads(0, n)); err != nil {
+		t.Fatal(err)
+	}
+	tr.ResetStats()
+	if err := tr.Rotate([]int{n}); err != nil {
+		t.Fatal(err)
+	}
+	if s := tr.Stats(); s.Merges != int64(tr.Height()) {
+		t.Fatalf("merges = %d, want exactly height %d", s.Merges, tr.Height())
+	}
+}
+
+func TestRotatingSplitProcessing(t *testing.T) {
+	const n = 8
+	tr := NewRotating(multiset, n)
+	if err := tr.Init(seqPayloads(0, n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RotateForeground([]int{n}); err != ErrNotPrepared {
+		t.Fatalf("foreground without background: err = %v, want ErrNotPrepared", err)
+	}
+	if err := tr.PrepareBackground(); err != nil {
+		t.Fatal(err)
+	}
+	for next := n; next < n+2*n; next++ {
+		fg, err := tr.RotateForeground([]int{next})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]int, 0, n)
+		for v := next - n + 1; v <= next; v++ {
+			want = append(want, v)
+		}
+		wantMultiset(t, fg, want)
+		if err := tr.Background([]int{next}); err != nil {
+			t.Fatal(err)
+		}
+		// After background, the tree root must agree with the
+		// foreground answer.
+		root, _ := tr.Root()
+		wantMultiset(t, root, want)
+	}
+}
+
+func TestRotatingForegroundIsOneMerge(t *testing.T) {
+	const n = 256
+	tr := NewRotating(multiset, n)
+	if err := tr.Init(seqPayloads(0, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.PrepareBackground(); err != nil {
+		t.Fatal(err)
+	}
+	tr.ResetStats()
+	if _, err := tr.RotateForeground([]int{n}); err != nil {
+		t.Fatal(err)
+	}
+	if s := tr.Stats(); s.Merges != 1 {
+		t.Fatalf("foreground merges = %d, want 1", s.Merges)
+	}
+}
+
+func TestRotatingSingleBucket(t *testing.T) {
+	tr := NewRotating(multiset, 1)
+	if err := tr.Init(seqPayloads(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.PrepareBackground(); err != nil {
+		t.Fatal(err)
+	}
+	fg, err := tr.RotateForeground([]int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMultiset(t, fg, []int{7})
+	if err := tr.Background([]int{7}); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := tr.Root()
+	wantMultiset(t, root, []int{7})
+}
+
+// TestRotatingPropertyRandom checks window contents across random numbers
+// of rotations for random bucket counts.
+func TestRotatingPropertyRandom(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		tr := NewRotating(multiset, n)
+		if err := tr.Init(seqPayloads(0, n)); err != nil {
+			return false
+		}
+		next := n
+		for step := 0; step < 40; step++ {
+			if err := tr.Rotate([]int{next}); err != nil {
+				return false
+			}
+			next++
+			root, ok := tr.Root()
+			if !ok {
+				return false
+			}
+			want := make([]int, 0, n)
+			for v := next - n; v < next; v++ {
+				want = append(want, v)
+			}
+			g := append([]int(nil), root...)
+			sort.Ints(g)
+			if len(g) != len(want) {
+				return false
+			}
+			for i := range g {
+				if g[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotatingVictimAdvances(t *testing.T) {
+	tr := NewRotating(multiset, 3)
+	if err := tr.Init(seqPayloads(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if got, want := tr.Victim(), i%3; got != want {
+			t.Fatalf("step %d: victim = %d, want %d", i, got, want)
+		}
+		if err := tr.Rotate([]int{100 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrawmanBuild(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 8, 17, 64} {
+		tr := NewStrawman(concat)
+		if !tr.Build(seqItems(0, m)) {
+			t.Fatalf("m=%d: build reported empty", m)
+		}
+		root, ok := tr.Root()
+		if !ok {
+			t.Fatalf("m=%d: no root", m)
+		}
+		wantSeq(t, root, 0, m)
+	}
+}
+
+func TestStrawmanEmpty(t *testing.T) {
+	tr := NewStrawman(concat)
+	if tr.Build(nil) {
+		t.Fatal("empty build should report false")
+	}
+	if _, ok := tr.Root(); ok {
+		t.Fatal("empty tree should have no root")
+	}
+}
+
+func TestStrawmanFullReuseOnIdenticalRebuild(t *testing.T) {
+	tr := NewStrawman(concat)
+	tr.Build(seqItems(0, 32))
+	tr.ResetStats()
+	tr.Build(seqItems(0, 32))
+	s := tr.Stats()
+	if s.Merges != 0 {
+		t.Fatalf("identical rebuild performed %d merges, want 0", s.Merges)
+	}
+	if s.NodesReused == 0 {
+		t.Fatal("identical rebuild reused nothing")
+	}
+}
+
+func TestStrawmanShiftBreaksReuse(t *testing.T) {
+	// The strawman's defining weakness (§2, §9): a slide shifts leaf
+	// positions, re-pairing everything, so merge work is Θ(window).
+	const n = 1 << 10
+	tr := NewStrawman(concat)
+	tr.Build(seqItems(0, n))
+	tr.ResetStats()
+	tr.Build(seqItems(1, n+1)) // slide by one
+	s := tr.Stats()
+	if s.Merges < int64(n)/2 {
+		t.Fatalf("merges = %d after a shift; strawman should recompute Θ(n)", s.Merges)
+	}
+}
+
+func TestStrawmanAppendOnlyReusesPrefix(t *testing.T) {
+	// Pure appends keep even-aligned pairs intact: reuse should be high.
+	const n = 1 << 10
+	tr := NewStrawman(concat)
+	tr.Build(seqItems(0, n))
+	tr.ResetStats()
+	tr.Build(seqItems(0, n+2))
+	s := tr.Stats()
+	if s.Merges > 64 {
+		t.Fatalf("merges = %d after aligned append, want O(log n)", s.Merges)
+	}
+}
+
+func TestStrawmanMemoGC(t *testing.T) {
+	tr := NewStrawman(concat)
+	tr.Build(seqItems(0, 64))
+	before := tr.NodeCount()
+	// A disjoint window leaves nothing to reuse; the memo must not
+	// accumulate entries from both generations.
+	tr.Build(seqItems(1000, 1064))
+	after := tr.NodeCount()
+	if after > before+4 {
+		t.Fatalf("memo grew from %d to %d; generational GC broken", before, after)
+	}
+}
+
+// TestStrawmanPropertyOrdering checks root ordering for random windows.
+func TestStrawmanPropertyOrdering(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewStrawman(concat)
+		lo := rng.Intn(100)
+		hi := lo + 1 + rng.Intn(100)
+		for step := 0; step < 10; step++ {
+			tr.Build(seqItems(lo, hi))
+			root, ok := tr.Root()
+			if !ok || len(root) != hi-lo {
+				return false
+			}
+			for i, v := range root {
+				if v != lo+i {
+					return false
+				}
+			}
+			lo += rng.Intn(3)
+			hi += rng.Intn(5)
+			if lo >= hi {
+				hi = lo + 1
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 1024: 10}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got := ceilPow2(5); got != 8 {
+		t.Errorf("ceilPow2(5) = %d, want 8", got)
+	}
+	if got := ceilPow2(8); got != 8 {
+		t.Errorf("ceilPow2(8) = %d, want 8", got)
+	}
+}

@@ -1,0 +1,248 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"slider/internal/mapreduce"
+	"slider/internal/persist"
+)
+
+// ErrNoWorkers is returned when every worker is unreachable.
+var ErrNoWorkers = errors.New("dist: no live workers")
+
+// Pool dispatches map tasks across a set of workers and implements the
+// runtime's MapRunner hook (sliderrt.Config.MapRunner). Splits are
+// spread round-robin; when a worker fails mid-batch its splits are
+// re-executed on the survivors (map tasks are deterministic and
+// side-effect-free, so re-execution is always safe — the MapReduce fault
+// model). A failed worker is retried on later batches, so transient
+// outages heal.
+type Pool struct {
+	jobName string
+
+	mu      sync.Mutex
+	workers []*poolWorker
+	next    int
+	// Retries counts splits that were re-executed after a worker error.
+	retries int64
+}
+
+type poolWorker struct {
+	addr   string
+	client *rpc.Client
+	down   bool
+}
+
+// NewPool connects to the given worker addresses for the named job. At
+// least one worker must be reachable; unreachable ones are marked down
+// and retried lazily.
+func NewPool(jobName string, addrs []string) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dist: pool needs at least one worker address")
+	}
+	p := &Pool{jobName: jobName}
+	live := 0
+	for _, addr := range addrs {
+		w := &poolWorker{addr: addr}
+		if client, err := rpc.Dial("tcp", addr); err == nil {
+			w.client = client
+			live++
+		} else {
+			w.down = true
+		}
+		p.workers = append(p.workers, w)
+	}
+	if live == 0 {
+		p.Close()
+		return nil, ErrNoWorkers
+	}
+	return p, nil
+}
+
+// Close releases all connections.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.client != nil {
+			w.client.Close()
+			w.client = nil
+		}
+		w.down = true
+	}
+}
+
+// Retries reports how many splits were re-executed after worker
+// failures.
+func (p *Pool) Retries() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retries
+}
+
+// LiveWorkers reports how many workers are currently considered up.
+func (p *Pool) LiveWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, w := range p.workers {
+		if !w.down {
+			n++
+		}
+	}
+	return n
+}
+
+// pick returns the next live worker, redialing down ones lazily.
+func (p *Pool) pick() (*poolWorker, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for tries := 0; tries < len(p.workers); tries++ {
+		w := p.workers[p.next%len(p.workers)]
+		p.next++
+		if w.down {
+			client, err := rpc.Dial("tcp", w.addr)
+			if err != nil {
+				continue
+			}
+			w.client = client
+			w.down = false
+		}
+		return w, nil
+	}
+	return nil, ErrNoWorkers
+}
+
+// markDown flags a worker after an RPC failure.
+func (p *Pool) markDown(w *poolWorker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w.client != nil {
+		w.client.Close()
+		w.client = nil
+	}
+	w.down = true
+}
+
+// RunMap implements mapreduce.MapRunner: it executes the splits on the
+// worker pool and returns results in split order. Each round assigns
+// every unfinished split round-robin to a live worker and issues one
+// batched RPC per worker, in parallel; a failed worker's whole batch is
+// simply left unfinished for the next round on the survivors.
+func (p *Pool) RunMap(job *mapreduce.Job, splits []mapreduce.Split) ([]mapreduce.MapResult, error) {
+	if job.Name != p.jobName {
+		return nil, fmt.Errorf("dist: pool serves job %q, got %q", p.jobName, job.Name)
+	}
+	frames := make([][]byte, len(splits))
+	for i := range splits {
+		frame, err := persist.Encode(splits[i])
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = frame
+	}
+	results := make([]mapreduce.MapResult, len(splits))
+	done := make([]bool, len(splits))
+	remaining := len(splits)
+	for attempt := 0; remaining > 0; attempt++ {
+		if attempt > 2*len(p.workers)+2 {
+			return nil, fmt.Errorf("dist: %d split(s) unrunnable after %d rounds: %w",
+				remaining, attempt, ErrNoWorkers)
+		}
+		// Assign unfinished splits round-robin across live workers.
+		batches := make(map[*poolWorker][]int)
+		for i := range splits {
+			if done[i] {
+				continue
+			}
+			w, err := p.pick()
+			if err != nil {
+				return nil, err
+			}
+			batches[w] = append(batches[w], i)
+		}
+		// One batched RPC per worker, in parallel.
+		type outcome struct {
+			w       *poolWorker
+			indices []int
+			resp    MapResponse
+			err     error
+		}
+		outcomes := make(chan outcome, len(batches))
+		for w, indices := range batches {
+			go func(w *poolWorker, indices []int) {
+				req := MapRequest{JobName: p.jobName, SplitFrames: make([][]byte, 0, len(indices))}
+				for _, i := range indices {
+					req.SplitFrames = append(req.SplitFrames, frames[i])
+				}
+				var resp MapResponse
+				err := w.client.Call("Slider.RunMap", req, &resp)
+				outcomes <- outcome{w: w, indices: indices, resp: resp, err: err}
+			}(w, indices)
+		}
+		for range batches {
+			o := <-outcomes
+			if o.err != nil {
+				p.markDown(o.w)
+				p.mu.Lock()
+				p.retries += int64(len(o.indices))
+				p.mu.Unlock()
+				continue
+			}
+			if len(o.resp.Results) != len(o.indices) {
+				return nil, fmt.Errorf("dist: worker %s returned %d results for %d splits",
+					o.resp.Worker, len(o.resp.Results), len(o.indices))
+			}
+			for k, i := range o.indices {
+				decoded, err := decodeResult(o.resp.Results[k], job.NumPartitions())
+				if err != nil {
+					return nil, err
+				}
+				results[i] = decoded
+				done[i] = true
+				remaining--
+			}
+		}
+	}
+	return results, nil
+}
+
+// decodeResult converts a wire result back to a mapreduce.MapResult.
+func decodeResult(r MapResult, partitions int) (mapreduce.MapResult, error) {
+	if len(r.PartFrames) != partitions {
+		return mapreduce.MapResult{}, fmt.Errorf(
+			"dist: result for split %s has %d partitions, want %d",
+			r.SplitID, len(r.PartFrames), partitions)
+	}
+	out := mapreduce.MapResult{
+		SplitID: r.SplitID,
+		Parts:   make([]mapreduce.Payload, partitions),
+		Cost:    time.Duration(r.CostNs),
+		Bytes:   r.Bytes,
+		Records: r.Records,
+	}
+	for i, frame := range r.PartFrames {
+		var p mapreduce.Payload
+		if err := persist.Decode(frame, &p); err != nil {
+			return mapreduce.MapResult{}, err
+		}
+		out.Parts[i] = p
+	}
+	return out, nil
+}
+
+// Ping probes a worker address directly (diagnostics and tests).
+func Ping(addr string) (PingReply, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return PingReply{}, err
+	}
+	defer client.Close()
+	var reply PingReply
+	err = client.Call("Slider.Ping", PingArgs{}, &reply)
+	return reply, err
+}

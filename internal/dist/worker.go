@@ -1,0 +1,190 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"slider/internal/mapreduce"
+	"slider/internal/persist"
+)
+
+// MapRequest is one remote map-task batch: the named job applied to a
+// set of splits. Splits travel as checksummed frames (persist.Encode) so
+// the worker detects corruption instead of computing on garbage.
+type MapRequest struct {
+	// JobName selects the job from the worker's registry.
+	JobName string
+	// SplitFrames holds one encoded mapreduce.Split per task.
+	SplitFrames [][]byte
+}
+
+// MapResult mirrors mapreduce.MapResult in wire-friendly form.
+type MapResult struct {
+	SplitID    string
+	PartFrames [][]byte // one encoded Payload per reduce partition
+	CostNs     int64
+	Bytes      int64
+	Records    int64
+}
+
+// MapResponse carries the batch's results.
+type MapResponse struct {
+	Results []MapResult
+	// Worker identifies the responding worker (diagnostics).
+	Worker string
+}
+
+// PingArgs/PingReply implement the health probe.
+type PingArgs struct{}
+
+// PingReply reports the worker's identity and registered jobs.
+type PingReply struct {
+	Worker string
+	Jobs   []string
+}
+
+// Worker serves map tasks over TCP. Create with NewWorker, stop with
+// Close.
+type Worker struct {
+	name     string
+	registry *Registry
+	listener net.Listener
+
+	mu     sync.Mutex
+	served int64
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewWorker starts a worker listening on addr (use "127.0.0.1:0" for an
+// ephemeral port). A nil registry uses the process-wide one.
+func NewWorker(name, addr string, registry *Registry) (*Worker, error) {
+	if registry == nil {
+		registry = &defaultRegistry
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker listen: %w", err)
+	}
+	w := &Worker{name: name, registry: registry, listener: ln, conns: make(map[net.Conn]struct{})}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Slider", &workerService{w: w}); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("dist: worker register: %w", err)
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			w.mu.Lock()
+			if w.closed {
+				w.mu.Unlock()
+				conn.Close()
+				return
+			}
+			w.conns[conn] = struct{}{}
+			w.mu.Unlock()
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				srv.ServeConn(conn)
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+			}()
+		}
+	}()
+	return w, nil
+}
+
+// Addr returns the worker's listen address.
+func (w *Worker) Addr() string { return w.listener.Addr().String() }
+
+// Served returns the number of map tasks this worker has executed.
+func (w *Worker) Served() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.served
+}
+
+// Close stops the worker: the listener and every open connection are
+// shut down (in-flight calls fail on the client, which re-executes them
+// elsewhere), and all serving goroutines are waited for.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	err := w.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	w.wg.Wait()
+	return err
+}
+
+// workerService is the RPC surface (kept separate so Worker's exported
+// methods don't have to satisfy net/rpc's signature rules).
+type workerService struct {
+	w *Worker
+}
+
+// RunMap executes a batch of map tasks for a registered job.
+func (s *workerService) RunMap(req MapRequest, resp *MapResponse) error {
+	job, err := s.w.registry.Lookup(req.JobName)
+	if err != nil {
+		return err
+	}
+	resp.Worker = s.w.name
+	resp.Results = make([]MapResult, 0, len(req.SplitFrames))
+	for _, frame := range req.SplitFrames {
+		var split mapreduce.Split
+		if err := persist.Decode(frame, &split); err != nil {
+			return fmt.Errorf("dist: worker %s: %w", s.w.name, err)
+		}
+		start := time.Now()
+		result, err := mapreduce.RunMapTask(job, split)
+		if err != nil {
+			return fmt.Errorf("dist: worker %s: %w", s.w.name, err)
+		}
+		parts := make([][]byte, len(result.Parts))
+		for i, p := range result.Parts {
+			if parts[i], err = persist.Encode(p); err != nil {
+				return fmt.Errorf("dist: worker %s: %w", s.w.name, err)
+			}
+		}
+		resp.Results = append(resp.Results, MapResult{
+			SplitID:    result.SplitID,
+			PartFrames: parts,
+			CostNs:     int64(time.Since(start)),
+			Bytes:      result.Bytes,
+			Records:    result.Records,
+		})
+		s.w.mu.Lock()
+		s.w.served++
+		s.w.mu.Unlock()
+	}
+	return nil
+}
+
+// Ping answers the health probe.
+func (s *workerService) Ping(_ PingArgs, reply *PingReply) error {
+	reply.Worker = s.w.name
+	reply.Jobs = s.w.registry.Names()
+	return nil
+}

@@ -1,0 +1,135 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Contract violations reported by CheckJob.
+var (
+	// ErrNotAssociative means Combine((a,b),c) ≠ Combine(a,(b,c)).
+	ErrNotAssociative = errors.New("mapreduce: combiner is not associative")
+	// ErrNotCommutative means Combine(a,b) ≠ Combine(b,a) although the
+	// job declares Commutative (required for Fixed windows, §4.1).
+	ErrNotCommutative = errors.New("mapreduce: combiner is not commutative")
+	// ErrMutatesInput means Combine changed one of its arguments;
+	// payloads are shared between contraction-tree nodes across runs,
+	// so mutation corrupts memoized state.
+	ErrMutatesInput = errors.New("mapreduce: combiner mutates its inputs")
+)
+
+// CheckJob property-tests a job's combiner contract against real sample
+// data: it maps the sample splits and then checks, on every key with at
+// least three values, that Combine is associative, commutative (when the
+// job declares it), and does not mutate its inputs. Values are compared
+// by Fingerprint with a relative tolerance for floats (contraction trees
+// re-associate float arithmetic by design).
+//
+// Run it once in a test against representative inputs before trusting a
+// new job to the incremental runtime:
+//
+//	if err := mapreduce.CheckJob(job, sampleSplits); err != nil {
+//	    t.Fatal(err)
+//	}
+func CheckJob(job *Job, samples []Split) error {
+	if err := job.Validate(); err != nil {
+		return err
+	}
+	// Gather per-key value sequences from real map output.
+	values := make(map[string][]Value)
+	emit := func(key string, value Value) {
+		if len(values[key]) < 8 {
+			values[key] = append(values[key], value)
+		}
+	}
+	for _, split := range samples {
+		for _, rec := range split.Records {
+			if err := job.Map(rec, emit); err != nil {
+				return fmt.Errorf("map on sample split %s: %w", split.ID, err)
+			}
+		}
+	}
+	checked := 0
+	for key, vs := range values {
+		if len(vs) < 3 {
+			continue
+		}
+		checked++
+		a, b, c := pickDistinct(vs)
+
+		// Non-mutation: fingerprints before and after.
+		fpA, fpB := Fingerprint(a), Fingerprint(b)
+		ab := job.Combine(key, []Value{a, b})
+		if Fingerprint(a) != fpA || Fingerprint(b) != fpB {
+			return fmt.Errorf("%w (key %q)", ErrMutatesInput, key)
+		}
+
+		// Associativity: (a⊕b)⊕c == a⊕(b⊕c).
+		left := job.Combine(key, []Value{ab, c})
+		right := job.Combine(key, []Value{a, job.Combine(key, []Value{b, c})})
+		if !valuesEquivalent(left, right) {
+			return fmt.Errorf("%w (key %q)", ErrNotAssociative, key)
+		}
+
+		// Commutativity, when declared.
+		if job.Commutative {
+			ba := job.Combine(key, []Value{b, a})
+			if !valuesEquivalent(ab, ba) {
+				return fmt.Errorf("%w (key %q)", ErrNotCommutative, key)
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("mapreduce: samples produced no key with ≥3 values; provide more data")
+	}
+	return nil
+}
+
+// pickDistinct selects three values preferring pairwise-distinct ones
+// (identical values trivially commute, hiding violations).
+func pickDistinct(vs []Value) (Value, Value, Value) {
+	picked := []Value{vs[0]}
+	seen := map[uint64]bool{Fingerprint(vs[0]): true}
+	for _, v := range vs[1:] {
+		if len(picked) == 3 {
+			break
+		}
+		if fp := Fingerprint(v); !seen[fp] {
+			seen[fp] = true
+			picked = append(picked, v)
+		}
+	}
+	for i := 1; len(picked) < 3; i++ {
+		picked = append(picked, vs[i])
+	}
+	return picked[0], picked[1], picked[2]
+}
+
+// valuesEquivalent compares combiner outputs, tolerating float
+// re-association error.
+func valuesEquivalent(a, b Value) bool {
+	switch x := a.(type) {
+	case float64:
+		y, ok := b.(float64)
+		return ok && floatsClose(x, y)
+	case []float64:
+		y, ok := b.([]float64)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !floatsClose(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return Fingerprint(a) == Fingerprint(b)
+	}
+}
+
+func floatsClose(x, y float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	return math.Abs(x-y) <= 1e-9*scale
+}

@@ -1,0 +1,121 @@
+package mapreduce
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func checkSamples() []Split {
+	return []Split{
+		{ID: "c0", Records: []Record{"a a a b b c", "a b c c c"}},
+	}
+}
+
+func TestCheckJobAcceptsLawfulJob(t *testing.T) {
+	if err := CheckJob(sumJob(2), checkSamples()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckJobDetectsNonAssociativity(t *testing.T) {
+	job := sumJob(1)
+	// Subtraction: associativity fails.
+	job.Combine = func(_ string, values []Value) Value {
+		acc := values[0].(int64)
+		for _, v := range values[1:] {
+			acc -= v.(int64)
+		}
+		return acc
+	}
+	if err := CheckJob(job, checkSamples()); !errors.Is(err, ErrNotAssociative) {
+		t.Fatalf("err = %v, want ErrNotAssociative", err)
+	}
+}
+
+func TestCheckJobDetectsNonCommutativity(t *testing.T) {
+	job := &Job{
+		Name: "concat",
+		Map: func(rec Record, emit Emit) error {
+			for _, w := range strings.Fields(rec.(string)) {
+				emit("k", w)
+			}
+			return nil
+		},
+		// String concatenation: associative but not commutative.
+		Combine: func(_ string, values []Value) Value {
+			var sb strings.Builder
+			for _, v := range values {
+				sb.WriteString(v.(string))
+			}
+			return sb.String()
+		},
+		Reduce:      func(_ string, values []Value) Value { return values[0] },
+		Commutative: true, // falsely declared
+	}
+	if err := CheckJob(job, checkSamples()); !errors.Is(err, ErrNotCommutative) {
+		t.Fatalf("err = %v, want ErrNotCommutative", err)
+	}
+	// Without the false declaration the job is acceptable.
+	job.Commutative = false
+	if err := CheckJob(job, checkSamples()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckJobDetectsMutation(t *testing.T) {
+	job := &Job{
+		Name: "mutator",
+		Map: func(rec Record, emit Emit) error {
+			for range strings.Fields(rec.(string)) {
+				emit("k", []int64{1})
+			}
+			return nil
+		},
+		Combine: func(_ string, values []Value) Value {
+			// Mutates its first argument — forbidden.
+			acc := values[0].([]int64)
+			for _, v := range values[1:] {
+				acc[0] += v.([]int64)[0]
+			}
+			return acc
+		},
+		Reduce: func(_ string, values []Value) Value { return values[0] },
+	}
+	if err := CheckJob(job, checkSamples()); !errors.Is(err, ErrMutatesInput) {
+		t.Fatalf("err = %v, want ErrMutatesInput", err)
+	}
+}
+
+func TestCheckJobToleratesFloatReassociation(t *testing.T) {
+	job := &Job{
+		Name: "fsum",
+		Map: func(rec Record, emit Emit) error {
+			for i, w := range strings.Fields(rec.(string)) {
+				emit("k", float64(len(w))+float64(i)*0.1)
+			}
+			return nil
+		},
+		Combine: func(_ string, values []Value) Value {
+			var sum float64
+			for _, v := range values {
+				sum += v.(float64)
+			}
+			return sum
+		},
+		Reduce:      func(_ string, values []Value) Value { return values[0] },
+		Commutative: true,
+	}
+	if err := CheckJob(job, checkSamples()); err != nil {
+		t.Fatalf("float sum rejected: %v", err)
+	}
+}
+
+func TestCheckJobNeedsData(t *testing.T) {
+	if err := CheckJob(sumJob(1), nil); err == nil {
+		t.Fatal("no-sample check passed")
+	}
+	if err := CheckJob(sumJob(1), []Split{{ID: "x", Records: []Record{"solo"}}}); err == nil {
+		t.Fatal("insufficient-values check passed")
+	}
+}

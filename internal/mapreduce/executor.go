@@ -1,0 +1,218 @@
+package mapreduce
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"slider/internal/metrics"
+)
+
+// MapResult is the measured output of one map task: one payload per reduce
+// partition, plus the task's real cost.
+type MapResult struct {
+	// SplitID is the identity of the split the task processed.
+	SplitID string
+	// Parts holds one payload per reduce partition.
+	Parts []Payload
+	// Cost is the measured active time of the task.
+	Cost time.Duration
+	// Bytes estimates the total output size across partitions.
+	Bytes int64
+	// Records is the number of input records processed.
+	Records int64
+}
+
+// MapRunner abstracts where map tasks execute: in-process (Executor) or
+// on remote workers (internal/dist.Pool). Implementations return results
+// in split order.
+type MapRunner interface {
+	// RunMap executes the job's map function over every split.
+	RunMap(job *Job, splits []Split) ([]MapResult, error)
+}
+
+// Executor runs map tasks in parallel and measures their costs.
+type Executor struct {
+	// Parallelism bounds concurrent map tasks; 0 means GOMAXPROCS.
+	Parallelism int
+	// NodeOf, when set, supplies the input-locality node of each split
+	// (by index), recorded as the map task's preferred node.
+	NodeOf func(splitIndex int) int
+}
+
+var _ MapRunner = Executor{}
+
+// RunMap implements MapRunner.
+func (e Executor) RunMap(job *Job, splits []Split) ([]MapResult, error) {
+	return e.RunMapTasks(job, splits, nil)
+}
+
+// RunMapTask executes the job's map function over one split and combines
+// the emitted values per key per partition (the standard map-side
+// combiner, which Slider keeps: §2 uses Combiners *additionally* at the
+// reduce side to form the contraction tree).
+func RunMapTask(job *Job, split Split) (MapResult, error) {
+	if err := job.Validate(); err != nil {
+		return MapResult{}, err
+	}
+	start := time.Now()
+	n := job.NumPartitions()
+	parts := make([]Payload, n)
+	for i := range parts {
+		parts[i] = make(Payload)
+	}
+	var mapErr error
+	emit := func(key string, value Value) {
+		p := parts[Partition(key, n)]
+		if existing, ok := p[key]; ok {
+			p[key] = job.Combine(key, []Value{existing, value})
+		} else {
+			p[key] = value
+		}
+	}
+	for _, rec := range split.Records {
+		if err := job.Map(rec, emit); err != nil {
+			mapErr = fmt.Errorf("map task %s: %w", split.ID, err)
+			break
+		}
+	}
+	if mapErr != nil {
+		return MapResult{}, mapErr
+	}
+	var bytes int64
+	for _, p := range parts {
+		bytes += PayloadBytes(job, p)
+	}
+	return MapResult{
+		SplitID: split.ID,
+		Parts:   parts,
+		Cost:    time.Since(start),
+		Bytes:   bytes,
+		Records: int64(len(split.Records)),
+	}, nil
+}
+
+// RunMapTasks executes the map phase over the given splits in parallel,
+// recording one task per split into rec (when rec is non-nil). Results are
+// returned in split order.
+func (e Executor) RunMapTasks(job *Job, splits []Split, rec *metrics.Recorder) ([]MapResult, error) {
+	par := e.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	results := make([]MapResult, len(splits))
+	errs := make([]error, len(splits))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, split := range splits {
+		wg.Add(1)
+		go func(i int, split Split) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = RunMapTask(job, split)
+		}(i, split)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if rec != nil {
+		for i, r := range results {
+			node := -1
+			if e.NodeOf != nil {
+				node = e.NodeOf(i)
+			}
+			rec.RecordTask(metrics.Task{
+				Phase:         metrics.PhaseMap,
+				Cost:          r.Cost,
+				InputBytes:    r.Bytes,
+				PreferredNode: node,
+			})
+		}
+		var c metrics.Counters
+		c.MapTasks = int64(len(results))
+		for _, r := range results {
+			c.MapRecords += r.Records
+		}
+		rec.Add(c)
+	}
+	return results, nil
+}
+
+// ReducePayload applies the job's Reduce to every key of the root
+// payload(s) and returns the final output. Multiple payloads for the same
+// key are passed to Reduce together (the "union" reduction of §4.2's
+// foreground step).
+func ReducePayload(job *Job, roots []Payload) (Output, int64) {
+	out := make(Output)
+	grouped := make(map[string][]Value)
+	for _, p := range roots {
+		for k, v := range p {
+			grouped[k] = append(grouped[k], v)
+		}
+	}
+	for k, vs := range grouped {
+		out[k] = job.Reduce(k, vs)
+	}
+	return out, int64(len(grouped))
+}
+
+// RunScratch executes the whole job non-incrementally: map over every
+// split, then one reduce task per partition that — like vanilla Hadoop —
+// groups the (map-side combined) values per key and applies Reduce once
+// to each group. This is the "recompute from scratch" baseline of §7.2.
+func RunScratch(job *Job, splits []Split, par int, rec *metrics.Recorder) (Output, error) {
+	results, err := Executor{Parallelism: par}.RunMapTasks(job, splits, rec)
+	if err != nil {
+		return nil, err
+	}
+	n := job.NumPartitions()
+	out := make(Output)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInt(1, par))
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			payloads := make([]Payload, 0, len(results))
+			var bytes int64
+			for _, r := range results {
+				payloads = append(payloads, r.Parts[p])
+				bytes += PayloadBytes(job, r.Parts[p])
+			}
+			partOut, reduceCalls := ReducePayload(job, payloads)
+			cost := time.Since(start)
+			mu.Lock()
+			for k, v := range partOut {
+				out[k] = v
+			}
+			mu.Unlock()
+			if rec != nil {
+				rec.RecordTask(metrics.Task{
+					Phase:         metrics.PhaseReduce,
+					Cost:          cost,
+					InputBytes:    bytes,
+					PreferredNode: -1,
+				})
+				rec.Add(metrics.Counters{ReduceCalls: reduceCalls})
+			}
+		}(p)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+package mapreduce
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Payload is the unit of data flowing through the contraction phase: the
+// combined key→value map a map task (or contraction-tree node) contributes
+// to one reduce partition.
+type Payload map[string]Value
+
+// Partition assigns a key to one of n reduce partitions using FNV-1a,
+// mirroring Hadoop's hash partitioner.
+func Partition(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// MergeOrdered combines two payloads preserving left-to-right window
+// order: values from `left` precede values from `right` in combiner
+// argument order. Neither input is mutated.
+func MergeOrdered(job *Job, left, right Payload) (Payload, int64) {
+	if len(left) == 0 {
+		return right, 0
+	}
+	if len(right) == 0 {
+		return left, 0
+	}
+	out := make(Payload, len(left)+len(right))
+	for k, v := range left {
+		out[k] = v
+	}
+	var combines int64
+	for k, v := range right {
+		if existing, ok := out[k]; ok {
+			out[k] = job.Combine(k, []Value{existing, v})
+			combines++
+		} else {
+			out[k] = v
+		}
+	}
+	return out, combines
+}
+
+// PayloadBytes estimates the in-memory size of a payload, using the job's
+// SizeOf override, the Sizer interface, or per-type defaults.
+func PayloadBytes(job *Job, p Payload) int64 {
+	var total int64
+	for k, v := range p {
+		total += int64(len(k)) + valueBytes(job, v)
+	}
+	return total
+}
+
+func valueBytes(job *Job, v Value) int64 {
+	if job != nil && job.SizeOf != nil {
+		return job.SizeOf(v)
+	}
+	switch x := v.(type) {
+	case Sizer:
+		return x.SizeBytes()
+	case nil:
+		return 0
+	case bool, int8, uint8:
+		return 1
+	case int, int64, uint64, float64:
+		return 8
+	case int32, uint32, float32:
+		return 4
+	case string:
+		return int64(len(x)) + 16
+	case []byte:
+		return int64(len(x)) + 24
+	case []float64:
+		return int64(8*len(x)) + 24
+	case []int64:
+		return int64(8*len(x)) + 24
+	case []string:
+		var n int64 = 24
+		for _, s := range x {
+			n += int64(len(s)) + 16
+		}
+		return n
+	case []Value:
+		var n int64 = 24
+		for _, e := range x {
+			n += valueBytes(job, e)
+		}
+		return n
+	case map[string]int64:
+		var n int64 = 48
+		for k := range x {
+			n += int64(len(k)) + 24
+		}
+		return n
+	case map[string]float64:
+		var n int64 = 48
+		for k := range x {
+			n += int64(len(k)) + 24
+		}
+		return n
+	default:
+		return 32
+	}
+}
+
+// Fingerprint computes a structural content hash of a value, used by
+// multi-level change detection (§5) to decide whether a downstream stage's
+// input changed. Values may implement Fingerprinter to override.
+func Fingerprint(v Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mixString := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	switch x := v.(type) {
+	case Fingerprinter:
+		mix(1)
+		mix(x.Fingerprint())
+	case nil:
+		mix(2)
+	case bool:
+		mix(3)
+		if x {
+			mix(1)
+		}
+	case int:
+		mix(4)
+		mix(uint64(int64(x)))
+	case int64:
+		mix(5)
+		mix(uint64(x))
+	case uint64:
+		mix(6)
+		mix(x)
+	case float64:
+		mix(7)
+		mix(math.Float64bits(x))
+	case string:
+		mix(8)
+		mixString(x)
+	case []byte:
+		mix(9)
+		mixString(string(x))
+	case []float64:
+		mix(10)
+		for _, f := range x {
+			mix(math.Float64bits(f))
+		}
+	case []int64:
+		mix(11)
+		for _, i := range x {
+			mix(uint64(i))
+		}
+	case []string:
+		mix(12)
+		for _, s := range x {
+			mixString(s)
+			mix(0x1f)
+		}
+	case []Value:
+		mix(13)
+		for _, e := range x {
+			mix(Fingerprint(e))
+		}
+	case map[string]int64:
+		mix(14)
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			mixString(k)
+			mix(uint64(x[k]))
+		}
+	case map[string]float64:
+		mix(15)
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			mixString(k)
+			mix(math.Float64bits(x[k]))
+		}
+	default:
+		mix(0xdeadbeefcafebabe)
+	}
+	return h
+}
+
+// FingerprintPayload hashes a whole payload deterministically.
+func FingerprintPayload(p Payload) uint64 {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= prime64
+		}
+		fp := Fingerprint(p[k])
+		for i := 0; i < 8; i++ {
+			h ^= fp & 0xff
+			h *= prime64
+			fp >>= 8
+		}
+	}
+	return h
+}

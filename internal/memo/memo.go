@@ -1,0 +1,363 @@
+// Package memo implements Slider's memoization layer (§6): an in-memory
+// distributed cache coordinated by a master index, a fault-tolerant
+// replicated persistent store, a shim I/O layer that serves reads from
+// memory when possible and falls back to persistent replicas, and a
+// garbage collector that frees state falling out of the sliding window.
+//
+// The cluster is simulated: entries carry node placements and the shim
+// layer charges a read-cost model (memory vs. disk vs. network), which is
+// what Table 2 of the paper measures. Correctness never depends on the
+// cache: a failed node only makes reads slower (replica fallback), exactly
+// as in the paper's design.
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// Config describes the simulated memoization substrate.
+type Config struct {
+	// Nodes is the number of worker machines holding cache shards.
+	Nodes int
+	// Replicas is the number of persistent copies per entry (the paper
+	// uses two).
+	Replicas int
+	// InMemory enables the in-memory cache layer; when false every
+	// read is served from persistent storage (the ablation of Table 2).
+	InMemory bool
+	// MemReadNsPerKB, DiskReadNsPerKB and NetReadNsPerKB parameterize
+	// the per-byte part of the simulated read-cost model.
+	MemReadNsPerKB  int64
+	DiskReadNsPerKB int64
+	NetReadNsPerKB  int64
+	// MemReadOverheadNs and DiskReadOverheadNs are the fixed per-read
+	// latencies (RPC round trip vs. disk seek + RPC). They make the
+	// caching benefit depend on an application's state sizes: small
+	// payloads are latency-bound, large payloads bandwidth-bound.
+	MemReadOverheadNs  int64
+	DiskReadOverheadNs int64
+	// MemWriteNsPerKB and DiskWriteNsPerKB parameterize memoization
+	// write costs: every Put pays one in-memory write plus one
+	// persistent write per replica. These writes are the initial-run
+	// overhead the paper measures in Figure 13 ("I/O costs for
+	// memoizing the intermediate results").
+	MemWriteNsPerKB  int64
+	DiskWriteNsPerKB int64
+}
+
+// DefaultConfig returns the memoization configuration used by the
+// experiments: 24 nodes, 2 replicas, in-memory caching on, and a read
+// cost model (RAM vs. disk vs. network hop) calibrated so that in-memory
+// caching saves roughly the 50–68% of read time the paper reports in
+// Table 2 — real deployments never see the raw RAM/disk gap because part
+// of every read is protocol and network overhead.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:              24,
+		Replicas:           2,
+		InMemory:           true,
+		MemReadNsPerKB:     4000,
+		DiskReadNsPerKB:    9000,
+		NetReadNsPerKB:     4500,
+		MemReadOverheadNs:  300_000,
+		DiskReadOverheadNs: 900_000,
+		MemWriteNsPerKB:    300,
+		DiskWriteNsPerKB:   1200,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.MemReadNsPerKB <= 0 {
+		c.MemReadNsPerKB = 250
+	}
+	if c.DiskReadNsPerKB <= 0 {
+		c.DiskReadNsPerKB = 10000
+	}
+	if c.NetReadNsPerKB <= 0 {
+		c.NetReadNsPerKB = 8000
+	}
+	if c.MemReadOverheadNs < 0 {
+		c.MemReadOverheadNs = 0
+	}
+	if c.DiskReadOverheadNs < 0 {
+		c.DiskReadOverheadNs = 0
+	}
+	if c.MemWriteNsPerKB < 0 {
+		c.MemWriteNsPerKB = 0
+	}
+	if c.DiskWriteNsPerKB < 0 {
+		c.DiskWriteNsPerKB = 0
+	}
+}
+
+// entry is one memoized object tracked by the master index.
+type entry struct {
+	value    any
+	size     int64
+	memNode  int   // node whose RAM caches the object (-1 when evicted)
+	replicas []int // nodes holding persistent copies
+	lo, hi   uint64
+}
+
+// Stats summarizes the layer's activity.
+type Stats struct {
+	Hits        int64 // reads served from the in-memory cache
+	Misses      int64 // reads served from persistent replicas
+	ReadTimeNs  int64 // simulated time spent reading memoized state
+	WriteTimeNs int64 // simulated time spent writing memoized state
+	Bytes       int64 // bytes currently resident (cache + replicas counted once)
+	Entries     int64 // live entries
+	Evicted     int64 // entries garbage-collected so far
+}
+
+// ErrNotFound is returned when a key is absent from the layer entirely.
+var ErrNotFound = errors.New("memo: not found")
+
+// Store is the fault-tolerant memoization layer. It is safe for
+// concurrent use.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	index   map[string]*entry
+	down    map[int]bool // nodes whose RAM contents were lost
+	hits    int64
+	misses  int64
+	readNs  int64
+	writeNs int64
+	evicted int64
+}
+
+// NewStore returns an empty memoization layer.
+func NewStore(cfg Config) *Store {
+	cfg.normalize()
+	return &Store{
+		cfg:   cfg,
+		index: make(map[string]*entry),
+		down:  make(map[int]bool),
+	}
+}
+
+// HomeNode returns the node whose RAM would cache the given key. The
+// scheduler uses it to co-locate contraction/reduce tasks with their
+// memoized inputs.
+func (s *Store) HomeNode(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(s.cfg.Nodes))
+}
+
+// Put memoizes value under key and returns the simulated write time (the
+// in-memory insert plus one persistent write per replica). lo/hi describe
+// the window interval (e.g. split sequence numbers) the value depends on,
+// consumed by GC.
+func (s *Store) Put(key string, value any, size int64, lo, hi uint64) int64 {
+	home := s.HomeNode(key)
+	replicas := make([]int, 0, s.cfg.Replicas)
+	for i := 1; i <= s.cfg.Replicas; i++ {
+		replicas = append(replicas, (home+i)%s.cfg.Nodes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mem := home
+	if !s.cfg.InMemory || s.down[home] {
+		mem = -1
+	}
+	s.index[key] = &entry{value: value, size: size, memNode: mem, replicas: replicas, lo: lo, hi: hi}
+	kb := (size + 1023) / 1024
+	cost := kb * s.cfg.MemWriteNsPerKB
+	cost += int64(len(replicas)) * kb * s.cfg.DiskWriteNsPerKB
+	s.writeNs += cost
+	return cost
+}
+
+// ChargeWrite charges the write-cost model for memoizing size bytes of
+// state without creating an index entry (bulk accounting of
+// contraction-tree node writes).
+func (s *Store) ChargeWrite(size int64) int64 {
+	kb := (size + 1023) / 1024
+	cost := kb * s.cfg.MemWriteNsPerKB
+	cost += int64(s.cfg.Replicas) * kb * s.cfg.DiskWriteNsPerKB
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeNs += cost
+	return cost
+}
+
+// Get reads a memoized value through the shim I/O layer from the
+// perspective of a task running on fromNode: an in-memory copy costs
+// memory (+network if remote) time; otherwise the nearest live persistent
+// replica costs disk (+network) time. It returns ErrNotFound when the key
+// is unknown.
+func (s *Store) Get(key string, fromNode int) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[key]
+	if !ok {
+		return nil, fmt.Errorf("memo: key %q: %w", key, ErrNotFound)
+	}
+	kb := (e.size + 1023) / 1024
+	if e.memNode >= 0 && !s.down[e.memNode] {
+		s.hits++
+		cost := s.cfg.MemReadOverheadNs + kb*s.cfg.MemReadNsPerKB
+		if fromNode >= 0 && fromNode != e.memNode {
+			cost += kb * s.cfg.NetReadNsPerKB
+		}
+		s.readNs += cost
+		return e.value, nil
+	}
+	// Fall back to a persistent replica; prefer a local one.
+	s.misses++
+	cost := s.cfg.DiskReadOverheadNs + kb*s.cfg.DiskReadNsPerKB
+	local := false
+	for _, r := range e.replicas {
+		if r == fromNode && !s.down[r] {
+			local = true
+			break
+		}
+	}
+	if !local {
+		cost += kb * s.cfg.NetReadNsPerKB
+	}
+	s.readNs += cost
+	// Re-populate the in-memory cache on the home node (read-repair).
+	home := s.HomeNode(key)
+	if s.cfg.InMemory && !s.down[home] {
+		e.memNode = home
+	}
+	return e.value, nil
+}
+
+// Contains reports whether key is memoized, without charging a read.
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Delete removes a key outright.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; ok {
+		delete(s.index, key)
+		s.evicted++
+	}
+}
+
+// GC frees every entry whose interval ended before windowLo — the
+// automatic policy of §6 ("free the storage occupied by data items that
+// fall out of the current window"). It returns the number of entries
+// collected.
+func (s *Store) GC(windowLo uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	collected := 0
+	for k, e := range s.index {
+		if e.hi < windowLo {
+			delete(s.index, k)
+			collected++
+		}
+	}
+	s.evicted += int64(collected)
+	return collected
+}
+
+// GCFunc frees entries selected by a user-defined policy (the paper's
+// "more aggressive user-defined policy").
+func (s *Store) GCFunc(drop func(key string, lo, hi uint64, size int64) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	collected := 0
+	for k, e := range s.index {
+		if drop(k, e.lo, e.hi, e.size) {
+			delete(s.index, k)
+			collected++
+		}
+	}
+	s.evicted += int64(collected)
+	return collected
+}
+
+// FailNode simulates the crash of a machine: its in-memory cache contents
+// are lost and its persistent replicas become unreachable until
+// RecoverNode. Reads transparently fall back to surviving replicas.
+func (s *Store) FailNode(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down[node] = true
+	for _, e := range s.index {
+		if e.memNode == node {
+			e.memNode = -1
+		}
+	}
+}
+
+// RecoverNode brings a failed machine back (with empty RAM).
+func (s *Store) RecoverNode(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.down, node)
+}
+
+// ChargeRead charges the read-cost model for size bytes of memoized state
+// read by a task on fromNode whose data lives under key's placement,
+// without an index lookup. It is used for bulk accounting of
+// contraction-tree state reads.
+func (s *Store) ChargeRead(key string, size int64, fromNode int) {
+	home := s.HomeNode(key)
+	kb := (size + 1023) / 1024
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.InMemory && !s.down[home] {
+		s.hits++
+		cost := s.cfg.MemReadOverheadNs + kb*s.cfg.MemReadNsPerKB
+		if fromNode >= 0 && fromNode != home {
+			cost += kb * s.cfg.NetReadNsPerKB
+		}
+		s.readNs += cost
+		return
+	}
+	s.misses++
+	cost := s.cfg.DiskReadOverheadNs + kb*s.cfg.DiskReadNsPerKB
+	if fromNode < 0 || (fromNode != (home+1)%s.cfg.Nodes && fromNode != home) {
+		cost += kb * s.cfg.NetReadNsPerKB
+	}
+	s.readNs += cost
+}
+
+// Stats returns a snapshot of the layer's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bytes int64
+	for _, e := range s.index {
+		bytes += e.size
+	}
+	return Stats{
+		Hits:        s.hits,
+		Misses:      s.misses,
+		ReadTimeNs:  s.readNs,
+		WriteTimeNs: s.writeNs,
+		Bytes:       bytes,
+		Entries:     int64(len(s.index)),
+		Evicted:     s.evicted,
+	}
+}
+
+// ResetReadStats clears the read counters (between measured runs).
+func (s *Store) ResetReadStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits, s.misses, s.readNs = 0, 0, 0
+}

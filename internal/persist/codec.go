@@ -1,0 +1,93 @@
+// Package persist provides the serialization and durable-storage
+// machinery behind Slider's fault-tolerant state handling: a gob-based
+// codec with checksummed framing for memoized payloads and runtime
+// checkpoints, and an atomic file store with corruption detection and
+// replica fallback — the persistent half of the paper's memoization
+// layer (§6), realized with real bytes on a real filesystem.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// ErrCorrupt is returned when a frame fails its checksum or is
+// structurally invalid.
+var ErrCorrupt = errors.New("persist: corrupt frame")
+
+var (
+	registerOnce sync.Once
+	registerMu   sync.Mutex
+)
+
+// registerBuiltins registers the value types that appear inside payloads
+// of the bundled applications and the query layer, so they can travel
+// through interface-typed gob fields.
+func registerBuiltins() {
+	for _, v := range []any{
+		int(0), int64(0), uint64(0), float64(0), false, "",
+		[]byte(nil), []float64(nil), []int64(nil), []string(nil),
+		[]any(nil), map[string]int64(nil), map[string]float64(nil),
+		map[string]any(nil),
+	} {
+		gob.Register(v)
+	}
+}
+
+// RegisterType makes a concrete application value type serializable when
+// stored behind an interface (payload values, query rows). Call it once
+// per custom Combine value type before checkpointing, e.g.
+// persist.RegisterType(&MyAccumulator{}).
+func RegisterType(v any) {
+	registerMu.Lock()
+	defer registerMu.Unlock()
+	gob.Register(v)
+}
+
+// frame layout: magic (4) | length (8) | crc32 (4) | gob bytes.
+var frameMagic = [4]byte{'s', 'l', 'd', '1'}
+
+// Encode serializes v with gob inside a checksummed frame.
+func Encode(v any) ([]byte, error) {
+	registerOnce.Do(registerBuiltins)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return nil, fmt.Errorf("persist: encode: %w", err)
+	}
+	data := payload.Bytes()
+	out := make([]byte, 0, 16+len(data))
+	out = append(out, frameMagic[:]...)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(data)))
+	out = append(out, lenBuf[:]...)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(data))
+	out = append(out, crcBuf[:]...)
+	return append(out, data...), nil
+}
+
+// Decode deserializes a frame produced by Encode into out (a pointer).
+func Decode(frame []byte, out any) error {
+	registerOnce.Do(registerBuiltins)
+	if len(frame) < 16 || !bytes.Equal(frame[:4], frameMagic[:]) {
+		return fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	length := binary.LittleEndian.Uint64(frame[4:12])
+	want := binary.LittleEndian.Uint32(frame[12:16])
+	data := frame[16:]
+	if uint64(len(data)) != length {
+		return fmt.Errorf("%w: length %d != %d", ErrCorrupt, len(data), length)
+	}
+	if crc32.ChecksumIEEE(data) != want {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return fmt.Errorf("persist: decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package pig implements the data-flow query-processing layer of §5: a
+// Pig-Latin-like language whose scripts compile to a pipeline of
+// MapReduce jobs, executed incrementally over sliding windows with
+// multi-level contraction trees — the window-appropriate self-adjusting
+// tree for the first stage and strawman trees with content-fingerprint
+// change detection for every later stage.
+//
+// The dialect supports the operators the PigMix-style evaluation needs:
+//
+//	rel = LOAD 'name' AS (f1, f2, ...);
+//	rel = FILTER src BY <boolean expr>;
+//	rel = FOREACH src GENERATE <expr> [AS name], ...;        (projection)
+//	rel = FOREACH grouped GENERATE group, COUNT(*), SUM(f);  (aggregation)
+//	rel = JOIN src BY field, 'table' BY field;               (replicated)
+//	rel = GROUP src BY field[, field...];
+//	rel = DISTINCT src;
+//	rel = ORDER src BY field [DESC];
+//	rel = LIMIT src n;
+//	STORE rel INTO 'out';
+//
+// JOIN is a map-side replicated join against a static side table
+// (registered at plan time), mirroring Pig's `USING 'replicated'`.
+package pig
+
+import "fmt"
+
+// Statement is one line of a Pig script.
+type Statement interface {
+	// alias returns the relation the statement defines ("" for STORE).
+	alias() string
+	// source returns the upstream relation ("" for LOAD).
+	source() string
+}
+
+// LoadStmt binds the window input stream to an alias with a schema.
+type LoadStmt struct {
+	Alias  string
+	Input  string
+	Schema []string
+}
+
+// FilterStmt keeps rows satisfying Cond.
+type FilterStmt struct {
+	Alias string
+	Src   string
+	Cond  Expr
+}
+
+// GenExpr is one FOREACH output column.
+type GenExpr struct {
+	// Expr computes the column (nil for aggregate columns).
+	Expr Expr
+	// Agg is the aggregate function name (COUNT, SUM, AVG, MIN, MAX)
+	// when the FOREACH follows a GROUP; empty for plain projection.
+	Agg string
+	// AggField is the aggregated field ("" for COUNT(*)).
+	AggField string
+	// Name is the output column name.
+	Name string
+}
+
+// ForeachStmt projects or aggregates.
+type ForeachStmt struct {
+	Alias string
+	Src   string
+	Gens  []GenExpr
+}
+
+// GroupStmt groups rows by key fields.
+type GroupStmt struct {
+	Alias string
+	Src   string
+	Keys  []string
+}
+
+// JoinStmt is a replicated join of Src against the static Table.
+type JoinStmt struct {
+	Alias    string
+	Src      string
+	SrcKey   string
+	Table    string
+	TableKey string
+}
+
+// SampleStmt keeps a deterministic (content-hashed) fraction of rows, so
+// incremental and from-scratch runs sample identically.
+type SampleStmt struct {
+	Alias    string
+	Src      string
+	Fraction float64
+}
+
+// DistinctStmt removes duplicate rows.
+type DistinctStmt struct {
+	Alias string
+	Src   string
+}
+
+// OrderStmt sorts by one field.
+type OrderStmt struct {
+	Alias string
+	Src   string
+	Key   string
+	Desc  bool
+}
+
+// LimitStmt keeps the first N rows.
+type LimitStmt struct {
+	Alias string
+	Src   string
+	N     int
+}
+
+// StoreStmt terminates the script.
+type StoreStmt struct {
+	Src    string
+	Output string
+}
+
+func (s *LoadStmt) alias() string     { return s.Alias }
+func (s *LoadStmt) source() string    { return "" }
+func (s *FilterStmt) alias() string   { return s.Alias }
+func (s *FilterStmt) source() string  { return s.Src }
+func (s *ForeachStmt) alias() string  { return s.Alias }
+func (s *ForeachStmt) source() string { return s.Src }
+func (s *GroupStmt) alias() string    { return s.Alias }
+func (s *GroupStmt) source() string   { return s.Src }
+func (s *JoinStmt) alias() string     { return s.Alias }
+func (s *JoinStmt) source() string    { return s.Src }
+func (s *SampleStmt) alias() string   { return s.Alias }
+func (s *SampleStmt) source() string  { return s.Src }
+func (s *DistinctStmt) alias() string { return s.Alias }
+func (s *DistinctStmt) source() string {
+	return s.Src
+}
+func (s *OrderStmt) alias() string  { return s.Alias }
+func (s *OrderStmt) source() string { return s.Src }
+func (s *LimitStmt) alias() string  { return s.Alias }
+func (s *LimitStmt) source() string { return s.Src }
+func (s *StoreStmt) alias() string  { return "" }
+func (s *StoreStmt) source() string { return s.Src }
+
+// Script is a parsed Pig program: a linear chain of statements from LOAD
+// to STORE.
+type Script struct {
+	Statements []Statement
+}
+
+// Chain returns the statements ordered from LOAD to STORE, validating
+// that the script forms a single linear data flow.
+func (s *Script) Chain() ([]Statement, error) {
+	if len(s.Statements) == 0 {
+		return nil, fmt.Errorf("pig: empty script")
+	}
+	byAlias := make(map[string]Statement, len(s.Statements))
+	var store *StoreStmt
+	var load *LoadStmt
+	for _, st := range s.Statements {
+		switch x := st.(type) {
+		case *StoreStmt:
+			if store != nil {
+				return nil, fmt.Errorf("pig: multiple STORE statements")
+			}
+			store = x
+		case *LoadStmt:
+			if load != nil {
+				return nil, fmt.Errorf("pig: multiple LOAD statements")
+			}
+			load = x
+			byAlias[x.alias()] = st
+		default:
+			if _, dup := byAlias[st.alias()]; dup {
+				return nil, fmt.Errorf("pig: alias %q defined twice", st.alias())
+			}
+			byAlias[st.alias()] = st
+		}
+	}
+	if store == nil {
+		return nil, fmt.Errorf("pig: missing STORE")
+	}
+	if load == nil {
+		return nil, fmt.Errorf("pig: missing LOAD")
+	}
+	chain := []Statement{store}
+	visited := make(map[string]bool, len(byAlias))
+	src := store.source()
+	for src != "" {
+		if visited[src] {
+			return nil, fmt.Errorf("pig: relation %q is defined in terms of itself", src)
+		}
+		visited[src] = true
+		st, ok := byAlias[src]
+		if !ok {
+			return nil, fmt.Errorf("pig: unknown relation %q", src)
+		}
+		chain = append(chain, st)
+		src = st.source()
+	}
+	if chain[len(chain)-1] != Statement(load) {
+		return nil, fmt.Errorf("pig: data flow does not start at LOAD")
+	}
+	// Reverse into LOAD→STORE order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}

@@ -1,0 +1,313 @@
+package pig
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is a dynamically typed Pig value: string or float64.
+type Value = any
+
+// Row is one tuple; columns are addressed positionally through a Schema.
+// It is an alias so that any []any produced by a generator or an upstream
+// stage asserts cleanly to Row.
+type Row = []Value
+
+// Schema maps column names to positions.
+type Schema []string
+
+// Index returns a column's position or -1.
+func (s Schema) Index(name string) int {
+	for i, n := range s {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Expr is an evaluable expression over a row.
+type Expr interface {
+	// Eval computes the expression's value for one row.
+	Eval(schema Schema, row Row) (Value, error)
+	// String renders the expression (for plan display and column
+	// naming).
+	String() string
+}
+
+// FieldExpr references a column by name.
+type FieldExpr struct {
+	Name string
+}
+
+// Eval implements Expr.
+func (e *FieldExpr) Eval(schema Schema, row Row) (Value, error) {
+	i := schema.Index(e.Name)
+	if i < 0 || i >= len(row) {
+		return nil, fmt.Errorf("pig: unknown field %q (schema %v)", e.Name, schema)
+	}
+	return row[i], nil
+}
+
+func (e *FieldExpr) String() string { return e.Name }
+
+// ConstExpr is a literal.
+type ConstExpr struct {
+	Val Value
+}
+
+// Eval implements Expr.
+func (e *ConstExpr) Eval(Schema, Row) (Value, error) { return e.Val, nil }
+
+func (e *ConstExpr) String() string {
+	if s, ok := e.Val.(string); ok {
+		return "'" + s + "'"
+	}
+	return fmt.Sprint(e.Val)
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op          string // == != < <= > >= + - * / AND OR
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (e *BinExpr) Eval(schema Schema, row Row) (Value, error) {
+	l, err := e.Left.Eval(schema, row)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Right.Eval(schema, row)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case "AND", "OR":
+		lb, lok := l.(bool)
+		rb, rok := r.(bool)
+		if !lok || !rok {
+			return nil, fmt.Errorf("pig: %s on non-boolean operands", e.Op)
+		}
+		if e.Op == "AND" {
+			return lb && rb, nil
+		}
+		return lb || rb, nil
+	case "+", "-", "*", "/":
+		lf, rf, ok := numPair(l, r)
+		if !ok {
+			return nil, fmt.Errorf("pig: arithmetic on non-numeric operands %v %s %v", l, e.Op, r)
+		}
+		switch e.Op {
+		case "+":
+			return lf + rf, nil
+		case "-":
+			return lf - rf, nil
+		case "*":
+			return lf * rf, nil
+		default:
+			if rf == 0 {
+				return nil, fmt.Errorf("pig: division by zero")
+			}
+			return lf / rf, nil
+		}
+	}
+	// Comparisons: numeric when both sides are numeric, else string.
+	if lf, rf, ok := numPair(l, r); ok {
+		switch e.Op {
+		case "==":
+			return lf == rf, nil
+		case "!=":
+			return lf != rf, nil
+		case "<":
+			return lf < rf, nil
+		case "<=":
+			return lf <= rf, nil
+		case ">":
+			return lf > rf, nil
+		case ">=":
+			return lf >= rf, nil
+		}
+	}
+	ls, rs := ToString(l), ToString(r)
+	switch e.Op {
+	case "==":
+		return ls == rs, nil
+	case "!=":
+		return ls != rs, nil
+	case "<":
+		return ls < rs, nil
+	case "<=":
+		return ls <= rs, nil
+	case ">":
+		return ls > rs, nil
+	case ">=":
+		return ls >= rs, nil
+	}
+	return nil, fmt.Errorf("pig: unknown operator %q", e.Op)
+}
+
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+// FuncExpr is a scalar function call. Supported functions: UPPER, LOWER,
+// STRLEN, CONCAT, SUBSTR(s, start, len), ABS, ROUND, FLOOR, CEIL.
+type FuncExpr struct {
+	Name string
+	Args []Expr
+}
+
+// scalarFuncs maps function names to their arities.
+var scalarFuncs = map[string]int{
+	"UPPER": 1, "LOWER": 1, "STRLEN": 1, "CONCAT": 2, "SUBSTR": 3,
+	"ABS": 1, "ROUND": 1, "FLOOR": 1, "CEIL": 1,
+}
+
+// Eval implements Expr.
+func (e *FuncExpr) Eval(schema Schema, row Row) (Value, error) {
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := a.Eval(schema, row)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	switch e.Name {
+	case "UPPER":
+		return strings.ToUpper(ToString(args[0])), nil
+	case "LOWER":
+		return strings.ToLower(ToString(args[0])), nil
+	case "STRLEN":
+		return float64(len(ToString(args[0]))), nil
+	case "CONCAT":
+		return ToString(args[0]) + ToString(args[1]), nil
+	case "SUBSTR":
+		s := ToString(args[0])
+		start, ok1 := ToNum(args[1])
+		length, ok2 := ToNum(args[2])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("pig: SUBSTR needs numeric start/len")
+		}
+		lo := int(start)
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > len(s) {
+			lo = len(s)
+		}
+		hi := lo + int(length)
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return s[lo:hi], nil
+	case "ABS", "ROUND", "FLOOR", "CEIL":
+		f, ok := ToNum(args[0])
+		if !ok {
+			return nil, fmt.Errorf("pig: %s on non-numeric %v", e.Name, args[0])
+		}
+		switch e.Name {
+		case "ABS":
+			return math.Abs(f), nil
+		case "ROUND":
+			return math.Round(f), nil
+		case "FLOOR":
+			return math.Floor(f), nil
+		default:
+			return math.Ceil(f), nil
+		}
+	}
+	return nil, fmt.Errorf("pig: unknown function %s", e.Name)
+}
+
+func (e *FuncExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct {
+	Inner Expr
+}
+
+// Eval implements Expr.
+func (e *NotExpr) Eval(schema Schema, row Row) (Value, error) {
+	v, err := e.Inner.Eval(schema, row)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return nil, fmt.Errorf("pig: NOT on non-boolean")
+	}
+	return !b, nil
+}
+
+func (e *NotExpr) String() string { return "NOT " + e.Inner.String() }
+
+// ToNum coerces a value to float64.
+func ToNum(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case string:
+		f, err := strconv.ParseFloat(x, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// numPair coerces both values when both are numeric.
+func numPair(l, r Value) (float64, float64, bool) {
+	lf, lok := strictNum(l)
+	rf, rok := strictNum(r)
+	return lf, rf, lok && rok
+}
+
+// strictNum treats only real numeric types as numbers (strings compare as
+// strings even when they parse).
+func strictNum(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// ToString renders a value the way Pig prints it.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case nil:
+		return ""
+	default:
+		return fmt.Sprint(x)
+	}
+}

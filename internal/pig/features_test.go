@@ -1,0 +1,153 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+
+	"slider/internal/mapreduce"
+)
+
+func TestScalarFunctions(t *testing.T) {
+	schema := Schema{"s", "x"}
+	row := Row{"Hello", -2.6}
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"UPPER(s)", "HELLO"},
+		{"LOWER(s)", "hello"},
+		{"STRLEN(s)", 5.0},
+		{"CONCAT(s, '!')", "Hello!"},
+		{"SUBSTR(s, 1, 3)", "ell"},
+		{"SUBSTR(s, 3, 99)", "lo"},
+		{"SUBSTR(s, 99, 2)", ""},
+		{"ABS(x)", 2.6},
+		{"ROUND(x)", -3.0},
+		{"FLOOR(x)", -3.0},
+		{"CEIL(x)", -2.0},
+		{"STRLEN(CONCAT(s, s))", 10.0},
+	}
+	for _, c := range cases {
+		toks, err := lex(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &parser{toks: toks}
+		expr, err := p.orExpr()
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		got, err := expr.Eval(schema, row)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got != c.want {
+			t.Fatalf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestScalarFunctionArity(t *testing.T) {
+	toks, err := lex("UPPER(a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &parser{toks: toks}
+	if _, err := p.orExpr(); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestFunctionsInScript(t *testing.T) {
+	src := `
+raw = LOAD 'x' AS (word, n);
+up = FOREACH raw GENERATE UPPER(word) AS w, n;
+g = GROUP up BY w;
+agg = FOREACH g GENERATE group AS w, SUM(n) AS total;
+o = ORDER agg BY w;
+STORE o INTO 'out';
+`
+	plan := compileTest(t, src, nil)
+	rows := []Row{{"ab", 1.0}, {"AB", 2.0}, {"cd", 3.0}}
+	got, _, err := RunScratch(plan, []mapreduce.Split{rowsToSplit("s0", rows)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %v", got)
+	}
+	if got[0][0] != "AB" || got[0][1].(float64) != 3 {
+		t.Fatalf("row 0 = %v (case folding broke grouping)", got[0])
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	src := `
+raw = LOAD 'x' AS (k, n);
+s = SAMPLE raw 0.5;
+g = GROUP s BY k;
+agg = FOREACH g GENERATE group AS k, COUNT(*) AS c;
+o = ORDER agg BY k;
+STORE o INTO 'out';
+`
+	plan := compileTest(t, src, nil)
+	rows := make([]Row, 200)
+	for i := range rows {
+		rows[i] = Row{"k" + ToString(float64(i%10)), float64(i)}
+	}
+	a, _, err := RunScratch(plan, []mapreduce.Split{rowsToSplit("s0", rows)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunScratch(plan, []mapreduce.Split{rowsToSplit("s0", rows)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRows(a, b) {
+		t.Fatal("sampling is not deterministic")
+	}
+	var kept float64
+	for _, r := range a {
+		kept += r[1].(float64)
+	}
+	if kept < 40 || kept > 160 {
+		t.Fatalf("kept %v of 200 rows at fraction 0.5", kept)
+	}
+}
+
+func TestSampleFractionBounds(t *testing.T) {
+	for _, src := range []string{
+		"a = LOAD 'x' AS (f); b = SAMPLE a 1.5; STORE b INTO 'o';",
+		"a = LOAD 'x' AS (f); b = SAMPLE a hello; STORE b INTO 'o';",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("bad SAMPLE accepted: %q", src)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	src := `
+raw = LOAD 'events' AS (user, action);
+views = FILTER raw BY action == 'view';
+sampled = SAMPLE views 0.5;
+g = GROUP sampled BY user;
+agg = FOREACH g GENERATE group AS user, COUNT(*) AS n;
+o = ORDER agg BY n DESC;
+top = LIMIT o 3;
+STORE top INTO 'dest';
+`
+	plan := compileTest(t, src, nil)
+	desc := plan.Describe()
+	for _, want := range []string{
+		"2 MapReduce stage(s)",
+		"group(user)",
+		"filter → sample",
+		"order(n)+limit(3)",
+		`store into "dest"`,
+	} {
+		if !strings.Contains(desc, want) {
+			t.Fatalf("describe missing %q:\n%s", want, desc)
+		}
+	}
+}

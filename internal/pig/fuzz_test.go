@@ -1,0 +1,53 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+
+	"slider/internal/mapreduce"
+)
+
+// FuzzParse checks that arbitrary input never panics the lexer, parser,
+// planner, or a scratch execution over a tiny relation: every path must
+// either succeed or return an error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		testScript,
+		"a = LOAD 'x' AS (f); g = GROUP a BY f; s = FOREACH g GENERATE group, COUNT(*); STORE s INTO 'o';",
+		"a = LOAD 'x' AS (f, g); b = FILTER a BY f == 'q' AND g > 1.5; d = DISTINCT b; STORE d INTO 'o';",
+		"a = LOAD 'x' AS (f); b = SAMPLE a 0.5; o = ORDER b BY f DESC; l = LIMIT o 2; STORE l INTO 'o';",
+		"a = LOAD 'x' AS (s); u = FOREACH a GENERATE UPPER(s) AS t, STRLEN(s); d = DISTINCT u; STORE d INTO 'o';",
+		"-- comment\na = LOAD 'x' AS (f);\nSTORE a INTO 'o';",
+		"a = b = c;;; '",
+		"a = LOAD 'x' AS (f); b = JOIN a BY f, 'tbl' BY k; g = GROUP b BY f; s = FOREACH g GENERATE group, MIN(f); STORE s INTO 'o';",
+		"\x00\xff(((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil {
+			return
+		}
+		plan, err := Compile(script, map[string]*Table{
+			"tbl": {Schema: Schema{"k", "v"}, Rows: []Row{{"a", 1.0}}},
+		}, 2)
+		if err != nil {
+			return
+		}
+		_ = plan.Describe()
+		// Execute over a tiny relation whose width matches the LOAD
+		// schema; evaluation errors are fine, panics are not.
+		row := make(Row, len(plan.LoadSchema))
+		for i, name := range plan.LoadSchema {
+			if strings.Contains(name, "n") {
+				row[i] = float64(i)
+			} else {
+				row[i] = "v" + name
+			}
+		}
+		split := mapreduce.Split{ID: "fz", Records: []mapreduce.Record{row}}
+		_, _, _ = RunScratch(plan, []mapreduce.Split{split}, nil)
+	})
+}

@@ -1,0 +1,604 @@
+package pig
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// token kinds.
+type tokKind int
+
+const (
+	tokIdent tokKind = iota + 1
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lex splits a script into tokens.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j == len(src) {
+				return nil, fmt.Errorf("pig: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], pos: i})
+			i = j + 1
+		case strings.ContainsRune("=!<>", rune(c)):
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				j++
+			}
+			toks = append(toks, token{kind: tokSymbol, text: src[i:j], pos: i})
+			i = j
+		case strings.ContainsRune("();,*+-/.", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("pig: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a Pig-lite script.
+func Parse(src string) (*Script, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	script := &Script{}
+	for p.peek().kind != tokEOF {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		script.Statements = append(script.Statements, st)
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+	}
+	if len(script.Statements) == 0 {
+		return nil, fmt.Errorf("pig: empty script")
+	}
+	return script, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// keywordIs checks case-insensitive identifier equality.
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !keywordIs(t, kw) {
+		return fmt.Errorf("pig: expected %s at %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("pig: expected %q at %d, got %q", sym, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("pig: expected identifier at %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectString() (string, error) {
+	t := p.next()
+	if t.kind != tokString {
+		return "", fmt.Errorf("pig: expected quoted string at %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+// statement parses either `STORE rel INTO 'out'` or `alias = <op> ...`.
+func (p *parser) statement() (Statement, error) {
+	if keywordIs(p.peek(), "STORE") {
+		p.next()
+		src, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("INTO"); err != nil {
+			return nil, err
+		}
+		out, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Src: src, Output: out}, nil
+	}
+	alias, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	op := p.next()
+	if op.kind != tokIdent {
+		return nil, fmt.Errorf("pig: expected operator at %d, got %q", op.pos, op.text)
+	}
+	switch strings.ToUpper(op.text) {
+	case "LOAD":
+		return p.load(alias)
+	case "FILTER":
+		return p.filter(alias)
+	case "FOREACH":
+		return p.foreach(alias)
+	case "GROUP":
+		return p.group(alias)
+	case "JOIN":
+		return p.join(alias)
+	case "DISTINCT":
+		src, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DistinctStmt{Alias: alias, Src: src}, nil
+	case "SAMPLE":
+		src, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("pig: SAMPLE needs a fraction at %d", t.pos)
+		}
+		frac, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || frac < 0 || frac > 1 {
+			return nil, fmt.Errorf("pig: bad SAMPLE fraction %q", t.text)
+		}
+		return &SampleStmt{Alias: alias, Src: src, Fraction: frac}, nil
+	case "ORDER":
+		return p.order(alias)
+	case "LIMIT":
+		return p.limit(alias)
+	default:
+		return nil, fmt.Errorf("pig: unknown operator %q at %d", op.text, op.pos)
+	}
+}
+
+func (p *parser) load(alias string) (Statement, error) {
+	input, err := p.expectString()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var schema []string
+	for {
+		f, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		schema = append(schema, f)
+		t := p.next()
+		if t.kind == tokSymbol && t.text == ")" {
+			break
+		}
+		if t.kind != tokSymbol || t.text != "," {
+			return nil, fmt.Errorf("pig: expected , or ) at %d", t.pos)
+		}
+	}
+	return &LoadStmt{Alias: alias, Input: input, Schema: schema}, nil
+}
+
+func (p *parser) filter(alias string) (Statement, error) {
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	cond, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &FilterStmt{Alias: alias, Src: src, Cond: cond}, nil
+}
+
+func (p *parser) foreach(alias string) (Statement, error) {
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("GENERATE"); err != nil {
+		return nil, err
+	}
+	var gens []GenExpr
+	for {
+		gen, err := p.genExpr()
+		if err != nil {
+			return nil, err
+		}
+		gens = append(gens, gen)
+		if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	return &ForeachStmt{Alias: alias, Src: src, Gens: gens}, nil
+}
+
+// genExpr parses one GENERATE column: aggregate call, or expression, with
+// an optional `AS name`.
+func (p *parser) genExpr() (GenExpr, error) {
+	var gen GenExpr
+	t := p.peek()
+	if t.kind == tokIdent {
+		upper := strings.ToUpper(t.text)
+		switch upper {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return gen, err
+			}
+			gen.Agg = upper
+			arg := p.next()
+			switch {
+			case arg.kind == tokSymbol && arg.text == "*":
+				gen.AggField = ""
+			case arg.kind == tokIdent:
+				gen.AggField = arg.text
+			default:
+				return gen, fmt.Errorf("pig: bad aggregate argument at %d", arg.pos)
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return gen, err
+			}
+			gen.Name = strings.ToLower(upper)
+			if gen.AggField != "" {
+				gen.Name += "_" + gen.AggField
+			}
+		}
+	}
+	if gen.Agg == "" {
+		expr, err := p.addExpr()
+		if err != nil {
+			return gen, err
+		}
+		gen.Expr = expr
+		if f, ok := expr.(*FieldExpr); ok {
+			gen.Name = f.Name
+		} else {
+			gen.Name = expr.String()
+		}
+	}
+	if keywordIs(p.peek(), "AS") {
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return gen, err
+		}
+		gen.Name = name
+	}
+	return gen, nil
+}
+
+func (p *parser) group(alias string) (Statement, error) {
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	var keys []string
+	for {
+		k, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, k)
+		if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	return &GroupStmt{Alias: alias, Src: src, Keys: keys}, nil
+}
+
+func (p *parser) join(alias string) (Statement, error) {
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	srcKey, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(","); err != nil {
+		return nil, err
+	}
+	table, err := p.expectString()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	tableKey, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &JoinStmt{Alias: alias, Src: src, SrcKey: srcKey, Table: table, TableKey: tableKey}, nil
+}
+
+func (p *parser) order(alias string) (Statement, error) {
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	key, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	desc := false
+	if keywordIs(p.peek(), "DESC") {
+		p.next()
+		desc = true
+	} else if keywordIs(p.peek(), "ASC") {
+		p.next()
+	}
+	return &OrderStmt{Alias: alias, Src: src, Key: key, Desc: desc}, nil
+}
+
+func (p *parser) limit(alias string) (Statement, error) {
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokNumber {
+		return nil, fmt.Errorf("pig: LIMIT needs a number at %d", t.pos)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return nil, fmt.Errorf("pig: bad LIMIT count %q", t.text)
+	}
+	return &LimitStmt{Alias: alias, Src: src, N: n}, nil
+}
+
+// funcCall parses the argument list of a scalar function.
+func (p *parser) funcCall(name string) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncExpr{Name: name}
+	for {
+		arg, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		fn.Args = append(fn.Args, arg)
+		t := p.next()
+		if t.kind == tokSymbol && t.text == ")" {
+			break
+		}
+		if t.kind != tokSymbol || t.text != "," {
+			return nil, fmt.Errorf("pig: expected , or ) in %s() at %d", name, t.pos)
+		}
+	}
+	if want := scalarFuncs[name]; len(fn.Args) != want {
+		return nil, fmt.Errorf("pig: %s takes %d argument(s), got %d", name, want, len(fn.Args))
+	}
+	return fn, nil
+}
+
+// Expression grammar: or → and → not → cmp → add → mul → primary.
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for keywordIs(p.peek(), "OR") {
+		p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for keywordIs(p.peek(), "AND") {
+		p.next()
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if keywordIs(p.peek(), "NOT") {
+		p.next()
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: t.text, Left: left, Right: right}, nil
+		case "=":
+			return nil, fmt.Errorf("pig: use == for comparison at %d", t.pos)
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.next()
+			right, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.next()
+			right, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pig: bad number %q at %d", t.text, t.pos)
+		}
+		return &ConstExpr{Val: f}, nil
+	case t.kind == tokString:
+		return &ConstExpr{Val: t.text}, nil
+	case t.kind == tokIdent:
+		upper := strings.ToUpper(t.text)
+		if _, isFunc := scalarFuncs[upper]; isFunc && p.peek().kind == tokSymbol && p.peek().text == "(" {
+			return p.funcCall(upper)
+		}
+		return &FieldExpr{Name: t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("pig: unexpected token %q at %d", t.text, t.pos)
+	}
+}

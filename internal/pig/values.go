@@ -1,0 +1,252 @@
+package pig
+
+import (
+	"math"
+	"sort"
+
+	"slider/internal/mapreduce"
+)
+
+// fnv64 helpers shared by the pig value fingerprints.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mixUint(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// fingerprintRow hashes one row.
+func fingerprintRow(h uint64, row Row) uint64 {
+	for _, v := range row {
+		switch x := v.(type) {
+		case float64:
+			h = mixUint(h, math.Float64bits(x))
+		case string:
+			h = mixString(h, x)
+			h = mixUint(h, 0x1f)
+		default:
+			h = mixString(h, ToString(x))
+		}
+	}
+	return mixUint(h, 0x9e)
+}
+
+// FingerprintRows hashes a row list (order-sensitive).
+func FingerprintRows(rows []Row) uint64 {
+	h := uint64(fnvOffset)
+	for _, r := range rows {
+		h = fingerprintRow(h, r)
+	}
+	return h
+}
+
+// encodeRow renders a row as a stable string key (for DISTINCT).
+func encodeRow(row Row) string {
+	out := ""
+	for i, v := range row {
+		if i > 0 {
+			out += "\x1f"
+		}
+		out += ToString(v)
+	}
+	return out
+}
+
+// rowBytes estimates a row's size.
+func rowBytes(row Row) int64 {
+	var n int64 = 16
+	for _, v := range row {
+		switch x := v.(type) {
+		case string:
+			n += int64(len(x)) + 16
+		default:
+			n += 16
+		}
+	}
+	return n
+}
+
+// AggCell is the partial state of one aggregate column.
+type AggCell struct {
+	Sum   float64
+	Min   float64
+	Max   float64
+	Count int64
+}
+
+// mergeCell merges two partial cells.
+func mergeCell(a, b AggCell) AggCell {
+	out := AggCell{Sum: a.Sum + b.Sum, Count: a.Count + b.Count, Min: a.Min, Max: a.Max}
+	if b.Count > 0 && (a.Count == 0 || b.Min < out.Min) {
+		out.Min = b.Min
+	}
+	if b.Count > 0 && (a.Count == 0 || b.Max > out.Max) {
+		out.Max = b.Max
+	}
+	return out
+}
+
+// AggVal is the partial aggregation state for one group: the group's key
+// values plus one cell per aggregate column.
+type AggVal struct {
+	KeyVals []Value
+	Cells   []AggCell
+}
+
+var (
+	_ mapreduce.Sizer         = (*AggVal)(nil)
+	_ mapreduce.Fingerprinter = (*AggVal)(nil)
+)
+
+// Merge returns a fresh merged aggregate.
+func (a *AggVal) Merge(b *AggVal) *AggVal {
+	out := &AggVal{KeyVals: a.KeyVals, Cells: make([]AggCell, len(a.Cells))}
+	for i := range a.Cells {
+		out.Cells[i] = mergeCell(a.Cells[i], b.Cells[i])
+	}
+	return out
+}
+
+// SizeBytes implements mapreduce.Sizer.
+func (a *AggVal) SizeBytes() int64 { return int64(32*len(a.Cells)) + rowBytes(a.KeyVals) }
+
+// Fingerprint implements mapreduce.Fingerprinter.
+func (a *AggVal) Fingerprint() uint64 {
+	h := fingerprintRow(fnvOffset, a.KeyVals)
+	for _, c := range a.Cells {
+		h = mixUint(h, math.Float64bits(c.Sum))
+		h = mixUint(h, math.Float64bits(c.Min))
+		h = mixUint(h, math.Float64bits(c.Max))
+		h = mixUint(h, uint64(c.Count))
+	}
+	return h
+}
+
+// RowVal wraps a single row as a combiner value (DISTINCT): combining two
+// identical rows keeps one, which is trivially associative/commutative.
+type RowVal struct {
+	Row Row
+}
+
+var (
+	_ mapreduce.Sizer         = (*RowVal)(nil)
+	_ mapreduce.Fingerprinter = (*RowVal)(nil)
+)
+
+// SizeBytes implements mapreduce.Sizer.
+func (r *RowVal) SizeBytes() int64 { return rowBytes(r.Row) }
+
+// Fingerprint implements mapreduce.Fingerprinter.
+func (r *RowVal) Fingerprint() uint64 { return fingerprintRow(fnvOffset, r.Row) }
+
+// SortedRows is the combiner value of ORDER [+ LIMIT]: rows kept sorted by
+// the sort key; merging is a sorted merge capped at Limit, which (like a
+// top-k list) is associative and commutative with deterministic
+// tie-breaking on the encoded row.
+type SortedRows struct {
+	// KeyIdx is the sort column.
+	KeyIdx int
+	// Desc sorts descending when set.
+	Desc bool
+	// Limit caps the kept rows (0 = unlimited).
+	Limit int
+	// Rows is sorted by (key, encodeRow).
+	Rows []Row
+}
+
+var (
+	_ mapreduce.Sizer         = (*SortedRows)(nil)
+	_ mapreduce.Fingerprinter = (*SortedRows)(nil)
+)
+
+// rowLess orders rows by the sort key with a deterministic tie-break.
+func (s *SortedRows) rowLess(a, b Row) bool {
+	av, bv := a[s.KeyIdx], b[s.KeyIdx]
+	if af, aok := strictNum(av); aok {
+		if bf, bok := strictNum(bv); bok {
+			if af != bf {
+				if s.Desc {
+					return af > bf
+				}
+				return af < bf
+			}
+			return encodeRow(a) < encodeRow(b)
+		}
+	}
+	as, bs := ToString(av), ToString(bv)
+	if as != bs {
+		if s.Desc {
+			return as > bs
+		}
+		return as < bs
+	}
+	return encodeRow(a) < encodeRow(b)
+}
+
+// Merge returns a fresh sorted (and capped) union.
+func (s *SortedRows) Merge(other *SortedRows) *SortedRows {
+	limit := s.Limit
+	if other.Limit > limit {
+		limit = other.Limit
+	}
+	out := &SortedRows{KeyIdx: s.KeyIdx, Desc: s.Desc, Limit: limit}
+	capacity := len(s.Rows) + len(other.Rows)
+	if limit > 0 && capacity > limit {
+		capacity = limit
+	}
+	out.Rows = make([]Row, 0, capacity)
+	i, j := 0, 0
+	for (limit == 0 || len(out.Rows) < limit) && (i < len(s.Rows) || j < len(other.Rows)) {
+		switch {
+		case i == len(s.Rows):
+			out.Rows = append(out.Rows, other.Rows[j])
+			j++
+		case j == len(other.Rows):
+			out.Rows = append(out.Rows, s.Rows[i])
+			i++
+		case s.rowLess(s.Rows[i], other.Rows[j]):
+			out.Rows = append(out.Rows, s.Rows[i])
+			i++
+		default:
+			out.Rows = append(out.Rows, other.Rows[j])
+			j++
+		}
+	}
+	return out
+}
+
+// Normalize sorts (and caps) the rows in place; used when building the
+// initial per-row values.
+func (s *SortedRows) Normalize() {
+	sort.SliceStable(s.Rows, func(i, j int) bool { return s.rowLess(s.Rows[i], s.Rows[j]) })
+	if s.Limit > 0 && len(s.Rows) > s.Limit {
+		s.Rows = s.Rows[:s.Limit]
+	}
+}
+
+// SizeBytes implements mapreduce.Sizer.
+func (s *SortedRows) SizeBytes() int64 {
+	var n int64 = 48
+	for _, r := range s.Rows {
+		n += rowBytes(r)
+	}
+	return n
+}
+
+// Fingerprint implements mapreduce.Fingerprinter.
+func (s *SortedRows) Fingerprint() uint64 { return FingerprintRows(s.Rows) }

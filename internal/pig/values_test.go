@@ -1,0 +1,142 @@
+package pig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggCellMerge(t *testing.T) {
+	a := AggCell{Sum: 10, Min: 2, Max: 8, Count: 3}
+	b := AggCell{Sum: 5, Min: 1, Max: 9, Count: 2}
+	m := mergeCell(a, b)
+	if m.Sum != 15 || m.Min != 1 || m.Max != 9 || m.Count != 5 {
+		t.Fatalf("m = %+v", m)
+	}
+	// Merging with an empty cell keeps the non-empty side's extrema.
+	empty := AggCell{}
+	m = mergeCell(a, empty)
+	if m.Min != 2 || m.Max != 8 || m.Count != 3 {
+		t.Fatalf("m with empty = %+v", m)
+	}
+	m = mergeCell(empty, b)
+	if m.Min != 1 || m.Max != 9 {
+		t.Fatalf("empty with m = %+v", m)
+	}
+}
+
+func TestAggValMergeDoesNotMutate(t *testing.T) {
+	a := &AggVal{KeyVals: Row{"k"}, Cells: []AggCell{{Sum: 1, Count: 1}}}
+	b := &AggVal{KeyVals: Row{"k"}, Cells: []AggCell{{Sum: 2, Count: 1}}}
+	m := a.Merge(b)
+	if a.Cells[0].Sum != 1 || b.Cells[0].Sum != 2 {
+		t.Fatal("merge mutated an input")
+	}
+	if m.Cells[0].Sum != 3 || m.Cells[0].Count != 2 {
+		t.Fatalf("m = %+v", m.Cells[0])
+	}
+}
+
+// genSorted builds a SortedRows with the invariant held (via merging
+// singletons, as the map side does).
+func genSorted(rng *rand.Rand, keyIdx, limit int) *SortedRows {
+	s := &SortedRows{KeyIdx: keyIdx, Limit: limit}
+	cnt := rng.Intn(6)
+	for i := 0; i < cnt; i++ {
+		single := &SortedRows{KeyIdx: keyIdx, Limit: limit, Rows: []Row{
+			{float64(rng.Intn(10)), "v" + ToString(float64(rng.Intn(5)))},
+		}}
+		s = s.Merge(single)
+	}
+	return s
+}
+
+func sortedEqual(a, b *SortedRows) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if encodeRow(a.Rows[i]) != encodeRow(b.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortedRowsMergeProperties(t *testing.T) {
+	property := func(seed int64, limited bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		limit := 0
+		if limited {
+			limit = 3
+		}
+		a := genSorted(rng, 0, limit)
+		b := genSorted(rng, 0, limit)
+		c := genSorted(rng, 0, limit)
+		if !sortedEqual(a.Merge(b), b.Merge(a)) {
+			return false
+		}
+		return sortedEqual(a.Merge(b).Merge(c), a.Merge(b.Merge(c)))
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedRowsDescAndLimit(t *testing.T) {
+	s := &SortedRows{KeyIdx: 0, Desc: true, Limit: 2}
+	for _, v := range []float64{1, 5, 3, 9} {
+		s = s.Merge(&SortedRows{KeyIdx: 0, Desc: true, Limit: 2, Rows: []Row{{v}}})
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %v", s.Rows)
+	}
+	if s.Rows[0][0].(float64) != 9 || s.Rows[1][0].(float64) != 5 {
+		t.Fatalf("rows = %v, want [9 5]", s.Rows)
+	}
+}
+
+func TestSortedRowsNormalize(t *testing.T) {
+	s := &SortedRows{KeyIdx: 0, Limit: 2, Rows: []Row{{3.0}, {1.0}, {2.0}}}
+	s.Normalize()
+	if len(s.Rows) != 2 || s.Rows[0][0].(float64) != 1 || s.Rows[1][0].(float64) != 2 {
+		t.Fatalf("rows = %v", s.Rows)
+	}
+}
+
+func TestRowFingerprints(t *testing.T) {
+	a := []Row{{"x", 1.0}, {"y", 2.0}}
+	b := []Row{{"x", 1.0}, {"y", 2.0}}
+	if FingerprintRows(a) != FingerprintRows(b) {
+		t.Fatal("equal row lists fingerprint differently")
+	}
+	c := []Row{{"y", 2.0}, {"x", 1.0}}
+	if FingerprintRows(a) == FingerprintRows(c) {
+		t.Fatal("row-list fingerprint ignores order")
+	}
+}
+
+func TestEncodeRowSeparator(t *testing.T) {
+	// Fields must not collide across the separator.
+	a := encodeRow(Row{"ab", "c"})
+	b := encodeRow(Row{"a", "bc"})
+	if a == b {
+		t.Fatal("encodeRow collides across field boundaries")
+	}
+}
+
+func TestValueSizes(t *testing.T) {
+	small := (&RowVal{Row: Row{"a"}}).SizeBytes()
+	big := (&RowVal{Row: Row{"a", "some longer string", 1.0}}).SizeBytes()
+	if small >= big {
+		t.Fatalf("sizes not monotone: %d %d", small, big)
+	}
+	agg := &AggVal{KeyVals: Row{"k"}, Cells: make([]AggCell, 3)}
+	if agg.SizeBytes() <= 0 {
+		t.Fatal("agg size")
+	}
+	sr := &SortedRows{Rows: []Row{{"a"}}}
+	if sr.SizeBytes() <= 0 {
+		t.Fatal("sorted size")
+	}
+}

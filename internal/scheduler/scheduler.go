@@ -1,0 +1,97 @@
+// Package scheduler implements the three scheduling policies the paper
+// evaluates (§6, Table 1):
+//
+//   - Baseline: Hadoop's stock scheduler — input locality for map tasks,
+//     first-available machine for reduce/contraction tasks.
+//   - MemoAware: places contraction/reduce tasks on the machine holding
+//     their memoized state, waiting for it if necessary.
+//   - Hybrid: memoization-aware placement with straggler mitigation — a
+//     task migrates to the first available machine (paying a network
+//     fetch of its memoized state) when its preferred machine is too far
+//     behind.
+package scheduler
+
+import (
+	"time"
+
+	"slider/internal/cluster"
+	"slider/internal/metrics"
+)
+
+// Baseline is the stock Hadoop scheduling policy: map tasks honor data
+// locality; reduce-side tasks go to the first available machine without
+// considering where memoized state lives.
+type Baseline struct{}
+
+var _ cluster.Policy = Baseline{}
+
+// Name implements cluster.Policy.
+func (Baseline) Name() string { return "baseline" }
+
+// Place implements cluster.Policy.
+func (Baseline) Place(t metrics.Task, v cluster.View) int {
+	if t.Phase == metrics.PhaseMap && t.PreferredNode >= 0 {
+		return t.PreferredNode
+	}
+	return v.EarliestNode()
+}
+
+// MemoAware is the strict memoization-aware policy: every task with a
+// preferred node runs there, even if the machine is busy or slow.
+type MemoAware struct{}
+
+var _ cluster.Policy = MemoAware{}
+
+// Name implements cluster.Policy.
+func (MemoAware) Name() string { return "memo-aware" }
+
+// Place implements cluster.Policy.
+func (MemoAware) Place(t metrics.Task, v cluster.View) int {
+	if t.PreferredNode >= 0 {
+		return t.PreferredNode
+	}
+	return v.EarliestNode()
+}
+
+// Hybrid is the paper's scheduler: it first tries to exploit the locality
+// of memoized data, and migrates the task when the preferred machine is
+// detected to be slow — i.e. when waiting for it would delay the task by
+// more than Slack compared to the first available machine, or when the
+// machine's speed factor marks it as a straggler.
+type Hybrid struct {
+	// Slack is the extra queueing delay tolerated to keep locality.
+	// Zero means "tolerate up to the task's own cost".
+	Slack time.Duration
+	// StragglerSpeed marks nodes at or below this speed factor as
+	// stragglers to avoid. Zero defaults to 0.5.
+	StragglerSpeed float64
+}
+
+var _ cluster.Policy = Hybrid{}
+
+// Name implements cluster.Policy.
+func (Hybrid) Name() string { return "hybrid" }
+
+// Place implements cluster.Policy.
+func (h Hybrid) Place(t metrics.Task, v cluster.View) int {
+	if t.PreferredNode < 0 {
+		return v.EarliestNode()
+	}
+	slack := h.Slack
+	if slack <= 0 {
+		slack = t.Cost
+	}
+	straggler := h.StragglerSpeed
+	if straggler <= 0 {
+		straggler = 0.5
+	}
+	pref := t.PreferredNode
+	if v.Speed(pref) <= straggler {
+		return v.EarliestNode()
+	}
+	best := v.EarliestNode()
+	if v.EarliestFree(pref)-v.EarliestFree(best) > slack {
+		return best
+	}
+	return pref
+}

@@ -1,0 +1,215 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+
+	"slider/internal/cluster"
+	"slider/internal/metrics"
+)
+
+// mkTasks builds n identical tasks of the given phase preferring node p.
+func mkTasks(n int, phase metrics.Phase, cost time.Duration, pref int, bytes int64) []metrics.Task {
+	tasks := make([]metrics.Task, n)
+	for i := range tasks {
+		tasks[i] = metrics.Task{Phase: phase, Cost: cost, PreferredNode: pref, InputBytes: bytes}
+	}
+	return tasks
+}
+
+func TestPhaseBarrier(t *testing.T) {
+	sim := cluster.NewSimulator(cluster.Config{Nodes: 4, SlotsPerNode: 1, NetBytesPerSec: 1 << 30})
+	tasks := append(
+		mkTasks(4, metrics.PhaseMap, 100*time.Millisecond, -1, 0),
+		mkTasks(4, metrics.PhaseReduce, 50*time.Millisecond, -1, 0)...,
+	)
+	res := sim.Run(tasks, Baseline{})
+	// 4 maps on 4 nodes: 100ms; then 4 reduces: +50ms.
+	if res.Makespan != 150*time.Millisecond {
+		t.Fatalf("makespan = %v, want 150ms", res.Makespan)
+	}
+	if res.PhaseEnd[metrics.PhaseMap] != 100*time.Millisecond {
+		t.Fatalf("map phase end = %v", res.PhaseEnd[metrics.PhaseMap])
+	}
+}
+
+func TestSlotsLimitParallelism(t *testing.T) {
+	sim := cluster.NewSimulator(cluster.Config{Nodes: 2, SlotsPerNode: 2, NetBytesPerSec: 1 << 30})
+	res := sim.Run(mkTasks(8, metrics.PhaseMap, 100*time.Millisecond, -1, 0), Baseline{})
+	// 8 tasks on 4 slots → 2 waves.
+	if res.Makespan != 200*time.Millisecond {
+		t.Fatalf("makespan = %v, want 200ms", res.Makespan)
+	}
+}
+
+func TestReusedTasksAreFree(t *testing.T) {
+	sim := cluster.NewSimulator(cluster.Config{Nodes: 2, SlotsPerNode: 1, NetBytesPerSec: 1 << 30})
+	tasks := mkTasks(2, metrics.PhaseMap, 100*time.Millisecond, -1, 0)
+	tasks[1].Reused = true
+	res := sim.Run(tasks, Baseline{})
+	if res.Makespan != 100*time.Millisecond {
+		t.Fatalf("makespan = %v, want 100ms", res.Makespan)
+	}
+}
+
+func TestBaselineIgnoresReduceLocality(t *testing.T) {
+	// All reduce tasks prefer node 0; the baseline spreads them anyway.
+	sim := cluster.NewSimulator(cluster.Config{Nodes: 4, SlotsPerNode: 1, NetBytesPerSec: 1 << 40})
+	res := sim.Run(mkTasks(4, metrics.PhaseReduce, 100*time.Millisecond, 0, 1024), Baseline{})
+	if res.Makespan != 100*time.Millisecond {
+		t.Fatalf("makespan = %v, want 100ms (spread across nodes)", res.Makespan)
+	}
+	if res.Migrations != 3 {
+		t.Fatalf("migrations = %d, want 3", res.Migrations)
+	}
+}
+
+func TestMemoAwareSerializesOnPreferredNode(t *testing.T) {
+	sim := cluster.NewSimulator(cluster.Config{Nodes: 4, SlotsPerNode: 1, NetBytesPerSec: 1 << 40})
+	res := sim.Run(mkTasks(4, metrics.PhaseReduce, 100*time.Millisecond, 0, 1024), MemoAware{})
+	// Strict locality queues all four tasks on node 0.
+	if res.Makespan != 400*time.Millisecond {
+		t.Fatalf("makespan = %v, want 400ms", res.Makespan)
+	}
+	if res.Migrations != 0 {
+		t.Fatalf("migrations = %d, want 0", res.Migrations)
+	}
+}
+
+func TestMemoAwareBeatsBaselineWhenTransfersDominate(t *testing.T) {
+	// One reduce task per node's memoized state, slow network: baseline
+	// random placement pays transfers, memo-aware doesn't.
+	cfg := cluster.Config{Nodes: 4, SlotsPerNode: 1, NetBytesPerSec: 1 << 20} // 1 MiB/s
+	sim := cluster.NewSimulator(cfg)
+	var tasks []metrics.Task
+	for n := 0; n < 4; n++ {
+		tasks = append(tasks, metrics.Task{
+			Phase: metrics.PhaseReduce, Cost: 10 * time.Millisecond,
+			// Preferences reversed relative to the simulator's node
+			// fill order, so locality-blind placement pays transfers.
+			PreferredNode: 3 - n, InputBytes: 1 << 20,
+		})
+	}
+	base := sim.Run(tasks, Baseline{})
+	aware := sim.Run(tasks, MemoAware{})
+	if aware.Makespan >= base.Makespan {
+		t.Fatalf("memo-aware (%v) should beat baseline (%v) when transfers dominate", aware.Makespan, base.Makespan)
+	}
+}
+
+func TestHybridAvoidsStraggler(t *testing.T) {
+	// Node 0 is a straggler; all tasks prefer it.
+	cfg := cluster.Config{
+		Nodes: 4, SlotsPerNode: 1,
+		Speed:          []float64{0.2, 1, 1, 1},
+		NetBytesPerSec: 1 << 30,
+	}
+	sim := cluster.NewSimulator(cfg)
+	tasks := mkTasks(4, metrics.PhaseReduce, 100*time.Millisecond, 0, 1024)
+	aware := sim.Run(tasks, MemoAware{})
+	hybrid := sim.Run(tasks, Hybrid{})
+	if hybrid.Makespan >= aware.Makespan {
+		t.Fatalf("hybrid (%v) should beat memo-aware (%v) under a straggler", hybrid.Makespan, aware.Makespan)
+	}
+	if hybrid.Migrations == 0 {
+		t.Fatal("hybrid never migrated off the straggler")
+	}
+}
+
+func TestHybridKeepsLocalityWhenHealthy(t *testing.T) {
+	cfg := cluster.Config{Nodes: 4, SlotsPerNode: 1, NetBytesPerSec: 1 << 30}
+	sim := cluster.NewSimulator(cfg)
+	var tasks []metrics.Task
+	for n := 0; n < 4; n++ {
+		tasks = append(tasks, metrics.Task{
+			Phase: metrics.PhaseContraction, Cost: 100 * time.Millisecond,
+			PreferredNode: n, InputBytes: 1 << 20,
+		})
+	}
+	res := sim.Run(tasks, Hybrid{})
+	if res.Migrations != 0 {
+		t.Fatalf("hybrid migrated %d tasks on a healthy balanced cluster", res.Migrations)
+	}
+}
+
+func TestHybridSlackTolerance(t *testing.T) {
+	// Two tasks prefer node 0; with one slot each, the second would wait
+	// one full task length — within the default slack (its own cost), so
+	// it stays local.
+	cfg := cluster.Config{Nodes: 2, SlotsPerNode: 1, NetBytesPerSec: 1 << 30}
+	sim := cluster.NewSimulator(cfg)
+	tasks := mkTasks(2, metrics.PhaseReduce, 100*time.Millisecond, 0, 1024)
+	res := sim.Run(tasks, Hybrid{})
+	if res.Migrations != 0 {
+		t.Fatalf("migrations = %d, want 0 within slack", res.Migrations)
+	}
+	// With three tasks the last one exceeds the slack and migrates.
+	tasks = mkTasks(3, metrics.PhaseReduce, 100*time.Millisecond, 0, 1024)
+	res = sim.Run(tasks, Hybrid{})
+	if res.Migrations == 0 {
+		t.Fatal("expected a migration beyond the slack")
+	}
+}
+
+func TestStragglerSlowsExecution(t *testing.T) {
+	fast := cluster.NewSimulator(cluster.Config{Nodes: 1, SlotsPerNode: 1})
+	slow := cluster.NewSimulator(cluster.Config{Nodes: 1, SlotsPerNode: 1, Speed: []float64{0.5}})
+	tasks := mkTasks(1, metrics.PhaseMap, 100*time.Millisecond, -1, 0)
+	f := fast.Run(tasks, Baseline{})
+	s := slow.Run(tasks, Baseline{})
+	if s.Makespan != 2*f.Makespan {
+		t.Fatalf("slow makespan = %v, want 2× fast (%v)", s.Makespan, f.Makespan)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (cluster.Config{Nodes: -1}).Validate(); err == nil {
+		t.Fatal("negative nodes should fail validation")
+	}
+	if err := (cluster.Config{Speed: []float64{-1}}).Validate(); err == nil {
+		t.Fatal("negative speed should fail validation")
+	}
+	if err := cluster.DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (Baseline{}).Name() != "baseline" || (MemoAware{}).Name() != "memo-aware" || (Hybrid{}).Name() != "hybrid" {
+		t.Fatal("policy names changed")
+	}
+}
+
+func TestHybridExplicitKnobs(t *testing.T) {
+	// An explicit tiny slack forces migration as soon as the preferred
+	// node has any queue at all.
+	cfg := cluster.Config{Nodes: 2, SlotsPerNode: 1, NetBytesPerSec: 1 << 30}
+	sim := cluster.NewSimulator(cfg)
+	tasks := mkTasks(2, metrics.PhaseReduce, 100*time.Millisecond, 0, 16)
+	res := sim.Run(tasks, Hybrid{Slack: time.Nanosecond})
+	if res.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1 under nanosecond slack", res.Migrations)
+	}
+	// A custom straggler threshold above the preferred node's speed
+	// avoids it even when idle (preferred node 1, so the fallback to the
+	// first-free node is an observable migration).
+	cfg.Nodes = 3
+	cfg.Speed = []float64{1, 0.9, 1}
+	sim = cluster.NewSimulator(cfg)
+	res = sim.Run(mkTasks(1, metrics.PhaseReduce, 100*time.Millisecond, 1, 16),
+		Hybrid{StragglerSpeed: 0.95})
+	if res.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1 with straggler threshold 0.95", res.Migrations)
+	}
+}
+
+func TestMapTasksWithoutPreference(t *testing.T) {
+	sim := cluster.NewSimulator(cluster.Config{Nodes: 2, SlotsPerNode: 1})
+	tasks := mkTasks(2, metrics.PhaseMap, 10*time.Millisecond, -1, 0)
+	for _, p := range []cluster.Policy{Baseline{}, MemoAware{}, Hybrid{}} {
+		res := sim.Run(tasks, p)
+		if res.Makespan != 10*time.Millisecond {
+			t.Fatalf("%s: makespan = %v", p.Name(), res.Makespan)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package sliderrt
+
+import (
+	"fmt"
+	"io"
+
+	"slider/internal/core"
+	"slider/internal/mapreduce"
+	"slider/internal/persist"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointState is the serialized form of a Runtime between runs: the
+// window bookkeeping plus, per partition, the minimal tree state from
+// which the contraction structure is rebuilt on restore.
+type checkpointState struct {
+	Version       int
+	Mode          Mode
+	Engine        Engine
+	Randomized    bool
+	BucketSplits  int
+	WindowBuckets int
+	Seq           uint64
+	WindowLo      uint64
+	Live          int
+	Parts         int
+	Partitions    []partCheckpoint
+}
+
+// partCheckpoint holds one partition's tree state. Exactly one field
+// group is populated, matching the runtime's mode and engine.
+type partCheckpoint struct {
+	// Append mode (coalescing tree).
+	Root       Payload
+	HasRoot    bool
+	Pending    Payload
+	HasPending bool
+	// Fixed mode (rotating tree).
+	Buckets []Payload
+	Victim  int
+	Filled  bool
+	// Variable mode and the strawman engine (leaf sequences).
+	LeafIDs      []uint64
+	LeafPayloads []Payload
+}
+
+// Checkpoint serializes the runtime's window state so that processing can
+// resume after a driver crash or restart (Restore). Application value
+// types stored in payloads must be registered with persist.RegisterType
+// first. Checkpointing between runs captures a consistent state: split
+// processing's background step always completes within Advance.
+func (rt *Runtime) Checkpoint(w io.Writer) error {
+	if !rt.started {
+		return ErrNotInitial
+	}
+	st := checkpointState{
+		Version:       checkpointVersion,
+		Mode:          rt.cfg.Mode,
+		Engine:        rt.cfg.Engine,
+		Randomized:    rt.cfg.Randomized,
+		BucketSplits:  rt.cfg.BucketSplits,
+		WindowBuckets: rt.cfg.WindowBuckets,
+		Seq:           rt.seq,
+		WindowLo:      rt.windowLo,
+		Live:          rt.live,
+		Parts:         rt.parts,
+		Partitions:    make([]partCheckpoint, rt.parts),
+	}
+	for p := 0; p < rt.parts; p++ {
+		pc := &st.Partitions[p]
+		switch {
+		case rt.cfg.Engine == Strawman:
+			for _, leaf := range rt.leaves[p] {
+				pc.LeafIDs = append(pc.LeafIDs, leaf.ID)
+				pc.LeafPayloads = append(pc.LeafPayloads, leaf.Payload)
+			}
+		case rt.cfg.Mode == Append:
+			pc.Root, pc.HasRoot = rt.coal[p].Root()
+			pc.Pending, pc.HasPending = rt.coal[p].PendingPayload()
+		case rt.cfg.Mode == Fixed:
+			pc.Buckets, pc.Filled = rt.rot[p].BucketPayloads()
+			pc.Victim = rt.rot[p].Victim()
+		case rt.cfg.Randomized:
+			for _, item := range rt.rnd[p].Items() {
+				pc.LeafIDs = append(pc.LeafIDs, item.ID)
+				pc.LeafPayloads = append(pc.LeafPayloads, item.Payload)
+			}
+		default:
+			pc.LeafPayloads = rt.fold[p].Payloads()
+		}
+	}
+	frame, err := persist.Encode(st)
+	if err != nil {
+		return fmt.Errorf("sliderrt: checkpoint: %w", err)
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("sliderrt: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// Restore reconstructs a runtime from a checkpoint produced by
+// Checkpoint. The job and configuration must match the checkpointed
+// runtime's (mode, engine, and bucket geometry are verified). The
+// contraction trees are rebuilt from the persisted leaf state; the next
+// Advance continues the window where the checkpoint left it.
+func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
+	frame, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sliderrt: restore read: %w", err)
+	}
+	var st checkpointState
+	if err := persist.Decode(frame, &st); err != nil {
+		return nil, fmt.Errorf("sliderrt: restore: %w", err)
+	}
+	if st.Version != checkpointVersion {
+		return nil, fmt.Errorf("sliderrt: restore: unsupported checkpoint version %d", st.Version)
+	}
+	rt, err := New(job, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if rt.cfg.Mode != st.Mode || rt.cfg.Engine != st.Engine || rt.cfg.Randomized != st.Randomized {
+		return nil, fmt.Errorf("sliderrt: restore: configuration mismatch (checkpoint %v/%v, config %v/%v)",
+			st.Mode, st.Engine, rt.cfg.Mode, rt.cfg.Engine)
+	}
+	if rt.cfg.Mode == Fixed &&
+		(rt.cfg.BucketSplits != st.BucketSplits || rt.cfg.WindowBuckets != st.WindowBuckets) {
+		return nil, fmt.Errorf("sliderrt: restore: bucket geometry mismatch")
+	}
+	if st.Parts != rt.parts {
+		return nil, fmt.Errorf("sliderrt: restore: partition count mismatch (checkpoint %d, job %d)",
+			st.Parts, rt.parts)
+	}
+	rt.allocTrees()
+	for p := 0; p < rt.parts; p++ {
+		pc := &st.Partitions[p]
+		switch {
+		case rt.cfg.Engine == Strawman:
+			items := make([]core.Item[Payload], len(pc.LeafPayloads))
+			for i := range pc.LeafPayloads {
+				items[i] = core.Item[Payload]{ID: pc.LeafIDs[i], Payload: pc.LeafPayloads[i]}
+			}
+			rt.leaves[p] = items
+			rt.straw[p].Build(items)
+		case rt.cfg.Mode == Append:
+			rt.coal[p].Restore(pc.Root, pc.HasRoot, pc.Pending, pc.HasPending)
+		case rt.cfg.Mode == Fixed:
+			if !pc.Filled {
+				return nil, fmt.Errorf("sliderrt: restore: partition %d window not filled", p)
+			}
+			if err := rt.rot[p].RestoreAt(pc.Buckets, pc.Victim); err != nil {
+				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
+			}
+			if rt.cfg.SplitProcessing {
+				if err := rt.rot[p].PrepareBackground(); err != nil {
+					return nil, err
+				}
+			}
+		case rt.cfg.Randomized:
+			items := make([]core.Item[Payload], len(pc.LeafPayloads))
+			for i := range pc.LeafPayloads {
+				items[i] = core.Item[Payload]{ID: pc.LeafIDs[i], Payload: pc.LeafPayloads[i]}
+			}
+			rt.rnd[p].Init(items)
+		default:
+			rt.fold[p].Init(pc.LeafPayloads)
+		}
+	}
+	rt.seq = st.Seq
+	rt.windowLo = st.WindowLo
+	rt.live = st.Live
+	rt.started = true
+	return rt, nil
+}

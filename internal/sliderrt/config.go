@@ -1,0 +1,130 @@
+// Package sliderrt is the Slider runtime: it drives a user's
+// non-incremental MapReduce job through initial and incremental sliding
+// window runs, wiring the self-adjusting contraction trees of
+// internal/core into the reduce phase, memoizing state in the
+// fault-tolerant cache of internal/memo, and recording measured task
+// costs for the cluster simulator.
+//
+// The runtime implements Algorithm 1 of the paper: new input is handled
+// by fresh map tasks, the delta (−δ, +δ) is propagated through the
+// contraction tree of each reduce partition, and the window is adjusted
+// for the next run.
+package sliderrt
+
+import (
+	"errors"
+	"fmt"
+
+	"slider/internal/mapreduce"
+	"slider/internal/memo"
+)
+
+// Mode selects the sliding-window variant, which in turn selects the
+// contraction-tree data structure (§3–§4).
+type Mode int
+
+// Window modes.
+const (
+	// Append is the append-only (bulk-appended) mode: the window only
+	// grows. Uses coalescing contraction trees (§4.2).
+	Append Mode = iota + 1
+	// Fixed is the fixed-width mode: every slide drops exactly as many
+	// splits as it adds. Uses rotating contraction trees (§4.1).
+	Fixed
+	// Variable is the general mode: the window may shrink and grow by
+	// arbitrary, different amounts. Uses folding trees (§3.1) or
+	// randomized folding trees (§3.2).
+	Variable
+)
+
+// String returns the mode letter used in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case Append:
+		return "A"
+	case Fixed:
+		return "F"
+	case Variable:
+		return "V"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Engine selects between the self-adjusting contraction trees and the
+// memoization-only strawman baseline of §2 (compared in Figure 8).
+type Engine int
+
+// Engines.
+const (
+	// SelfAdjusting uses the window-appropriate self-adjusting tree.
+	SelfAdjusting Engine = iota + 1
+	// Strawman uses the memoized balanced binary tree of §2.
+	Strawman
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Mode is the sliding-window variant. Required.
+	Mode Mode
+	// Engine selects self-adjusting trees (default) or the strawman.
+	Engine Engine
+	// Randomized switches Variable mode to the randomized folding tree
+	// of §3.2.
+	Randomized bool
+	// SplitProcessing enables the background pre-processing of §4 for
+	// Append and Fixed modes.
+	SplitProcessing bool
+	// BucketSplits is w, the number of splits per bucket (Fixed mode).
+	BucketSplits int
+	// WindowBuckets is N, the number of buckets in the window (Fixed
+	// mode). The window thus holds N×w splits.
+	WindowBuckets int
+	// RebuildFactor is the folding tree's rebalance trigger (§3.2);
+	// 0 uses the default, negative disables rebuilding.
+	RebuildFactor int
+	// Parallelism bounds concurrent map tasks (0 = GOMAXPROCS).
+	Parallelism int
+	// Seed fixes the randomized tree's coin flips.
+	Seed uint64
+	// Memo configures the memoization layer; zero value uses defaults.
+	Memo memo.Config
+	// MapRunner overrides where map tasks execute (default: the
+	// in-process parallel executor). Set it to a dist.Pool to run map
+	// tasks on remote workers.
+	MapRunner mapreduce.MapRunner
+	// GCPolicy, when set, runs after the automatic out-of-window
+	// collection on every slide and may evict additional memoized
+	// entries (the paper's "more aggressive user-defined policy", §6).
+	// Return true to evict the entry.
+	GCPolicy func(key string, lo, hi uint64, size int64) bool
+}
+
+// Validation errors.
+var (
+	ErrBadMode      = errors.New("sliderrt: invalid or missing window mode")
+	ErrBadBuckets   = errors.New("sliderrt: Fixed mode requires positive BucketSplits and WindowBuckets")
+	ErrBadAdvance   = errors.New("sliderrt: advance shape does not match the window mode")
+	ErrNotInitial   = errors.New("sliderrt: Advance before Initial")
+	ErrReinitialize = errors.New("sliderrt: Initial called twice")
+)
+
+// validate normalizes and checks the configuration.
+func (c *Config) validate() error {
+	switch c.Mode {
+	case Append, Variable:
+	case Fixed:
+		if c.BucketSplits <= 0 || c.WindowBuckets <= 0 {
+			return ErrBadBuckets
+		}
+	default:
+		return ErrBadMode
+	}
+	if c.Engine == 0 {
+		c.Engine = SelfAdjusting
+	}
+	if c.Memo.Nodes == 0 {
+		c.Memo = memo.DefaultConfig()
+	}
+	return nil
+}

@@ -1,0 +1,762 @@
+package sliderrt
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"slider/internal/core"
+	"slider/internal/mapreduce"
+	"slider/internal/memo"
+	"slider/internal/metrics"
+)
+
+// Payload aliases the contraction-phase payload type.
+type Payload = mapreduce.Payload
+
+// RunResult is the outcome of one run (initial or incremental).
+type RunResult struct {
+	// Output is the job's final key→value output for the window.
+	Output mapreduce.Output
+	// Report carries the foreground work and task list of the run.
+	Report metrics.Report
+	// Background carries the background pre-processing work of split
+	// mode (empty when split processing is disabled).
+	Background metrics.Report
+	// TreeStats is the contraction-tree work performed on the
+	// foreground (critical) path of this run.
+	TreeStats core.Stats
+	// TreeStatsBackground is the contraction-tree work performed by the
+	// background pre-processing step (split mode only).
+	TreeStatsBackground core.Stats
+	// SpaceBytes is the memoized state resident after the run
+	// (tree payloads plus cached map outputs).
+	SpaceBytes int64
+	// ReadTimeNs is the simulated time spent reading memoized state
+	// during this run.
+	ReadTimeNs int64
+}
+
+// Runtime drives one job over a sliding window. It is not safe for
+// concurrent use; runs are sequential by design (each run's trees feed
+// the next).
+type Runtime struct {
+	job   *mapreduce.Job
+	cfg   Config
+	store *memo.Store
+	parts int
+
+	seq      uint64 // next split sequence number
+	windowLo uint64 // sequence number of the oldest live split
+	live     int    // live splits in the window
+	runs     int64  // completed runs
+	started  bool
+
+	// combines[p] counts combiner invocations inside partition p's
+	// merges; partitions update their own counter, so the contraction
+	// phase can run partitions concurrently.
+	combines []int64
+
+	coal   []*core.CoalescingTree[Payload]
+	rot    []*core.RotatingTree[Payload]
+	fold   []*core.FoldingTree[Payload]
+	rnd    []*core.RandomizedFoldingTree[Payload]
+	straw  []*core.StrawmanTree[Payload]
+	leaves [][]core.Item[Payload] // strawman window leaves per partition
+
+	// Fixed+split: per-partition buckets awaiting background install.
+	pendingBuckets []Payload
+	hasPending     bool
+}
+
+// New returns a runtime for the job under the given configuration.
+func New(job *mapreduce.Job, cfg Config) (*Runtime, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == Fixed && cfg.Engine == SelfAdjusting && !job.Commutative {
+		return nil, fmt.Errorf("sliderrt: job %q: rotating trees require a commutative combiner", job.Name)
+	}
+	rt := &Runtime{
+		job:   job,
+		cfg:   cfg,
+		store: memo.NewStore(cfg.Memo),
+		parts: job.NumPartitions(),
+	}
+	return rt, nil
+}
+
+// mergeFor returns partition p's merge function: it combines two payloads
+// in window order and counts combiner calls into p's own counter.
+func (rt *Runtime) mergeFor(p int) core.MergeFunc[Payload] {
+	counter := &rt.combines[p]
+	return func(a, b Payload) Payload {
+		out, c := mapreduce.MergeOrdered(rt.job, a, b)
+		*counter += c
+		return out
+	}
+}
+
+// foldPayloads merges payloads left to right into one using partition p's
+// merge function.
+func (rt *Runtime) foldPayloads(p int, ps []Payload) Payload {
+	if len(ps) == 0 {
+		return Payload{}
+	}
+	merge := rt.mergeFor(p)
+	acc := ps[0]
+	for _, payload := range ps[1:] {
+		acc = merge(acc, payload)
+	}
+	return acc
+}
+
+// partNode returns the machine holding partition p's memoized state.
+func (rt *Runtime) partNode(p int) int {
+	return rt.store.HomeNode("part:" + strconv.Itoa(p))
+}
+
+// mapAdds runs map tasks for new splits with input locality, memoizes
+// their outputs (charging the layer's write cost into each task), and
+// returns the per-split results.
+func (rt *Runtime) mapAdds(splits []mapreduce.Split, rec *metrics.Recorder) ([]mapreduce.MapResult, error) {
+	base := rt.seq
+	runner := rt.cfg.MapRunner
+	if runner == nil {
+		runner = mapreduce.Executor{Parallelism: rt.parallelism()}
+	}
+	results, err := runner.RunMap(rt.job, splits)
+	if err != nil {
+		return nil, err
+	}
+	var counters metrics.Counters
+	for i, r := range results {
+		id := base + uint64(i)
+		writeNs := rt.store.Put("map:"+r.SplitID, r.Parts, r.Bytes, id, id)
+		rec.RecordTask(metrics.Task{
+			Phase:         metrics.PhaseMap,
+			Cost:          r.Cost + time.Duration(writeNs),
+			InputBytes:    r.Bytes,
+			PreferredNode: int(id % uint64(rt.cfg.Memo.Nodes)),
+		})
+		counters.MapTasks++
+		counters.MapRecords += r.Records
+		counters.WriteTime += writeNs
+	}
+	rec.Add(counters)
+	rt.seq += uint64(len(splits))
+	rt.live += len(splits)
+	return results, nil
+}
+
+func (rt *Runtime) parallelism() int {
+	if rt.cfg.Parallelism > 0 {
+		return rt.cfg.Parallelism
+	}
+	return 0
+}
+
+// Initial performs the initial run over the first window (§3: all input
+// data items are new; the contraction trees are built from scratch).
+func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
+	if rt.started {
+		return nil, ErrReinitialize
+	}
+	if rt.cfg.Mode == Fixed {
+		want := rt.cfg.BucketSplits * rt.cfg.WindowBuckets
+		if len(splits) != want {
+			return nil, fmt.Errorf("%w: Fixed initial window needs %d splits, got %d", ErrBadAdvance, want, len(splits))
+		}
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("%w: initial window is empty", ErrBadAdvance)
+	}
+	rec := metrics.NewRecorder()
+	bg := metrics.NewRecorder()
+	rt.store.ResetReadStats()
+
+	baseSeq := rt.seq
+	results, err := rt.mapAdds(splits, rec)
+	if err != nil {
+		return nil, err
+	}
+	rt.allocTrees()
+	statsBefore := rt.treeStats()
+
+	roots := make([][]Payload, rt.parts)
+	if err := rt.forEachPartition(func(p int) error {
+		start := time.Now()
+		payloads := partPayloads(results, p)
+		switch {
+		case rt.cfg.Engine == Strawman:
+			rt.leaves[p] = makeItems(baseSeq, payloads)
+			rt.straw[p].Build(rt.leaves[p])
+			if root, ok := rt.straw[p].Root(); ok {
+				roots[p] = []Payload{root}
+			}
+		case rt.cfg.Mode == Append:
+			c1 := rt.foldPayloads(p, payloads)
+			root := rt.coal[p].Append(c1)
+			roots[p] = []Payload{root}
+		case rt.cfg.Mode == Fixed:
+			buckets := rt.formBuckets(p, payloads)
+			if err := rt.rot[p].Init(buckets); err != nil {
+				return err
+			}
+			if root, ok := rt.rot[p].Root(); ok {
+				roots[p] = []Payload{root}
+			}
+		case rt.cfg.Randomized:
+			rt.rnd[p].Init(makeItems(baseSeq, payloads))
+			if root, ok := rt.rnd[p].Root(); ok {
+				roots[p] = []Payload{root}
+			}
+		default:
+			rt.fold[p].Init(payloads)
+			if root, ok := rt.fold[p].Root(); ok {
+				roots[p] = []Payload{root}
+			}
+		}
+		// The initial run materializes every tree node into the
+		// memoization layer — the paper's Figure 13 overhead.
+		writeNs := rt.store.ChargeWrite(rt.partitionTreeBytes(p))
+		rt.recordContraction(rec, p, time.Since(start)+time.Duration(writeNs), roots[p])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	out := rt.reduceAll(rec, roots)
+	statsFg := rt.treeStats()
+
+	// Split processing: pave the way for the first incremental run.
+	if rt.cfg.SplitProcessing && rt.cfg.Mode == Fixed && rt.cfg.Engine == SelfAdjusting {
+		for p := 0; p < rt.parts; p++ {
+			start := time.Now()
+			if err := rt.rot[p].PrepareBackground(); err != nil {
+				return nil, err
+			}
+			bg.RecordTask(metrics.Task{
+				Phase:         metrics.PhaseContraction,
+				Cost:          time.Since(start),
+				PreferredNode: rt.partNode(p),
+			})
+		}
+	}
+
+	rt.started = true
+	res := rt.finish(out, rec, bg, statsBefore)
+	res.TreeStats = statsDelta(statsBefore, statsFg)
+	res.TreeStatsBackground = statsDelta(statsFg, rt.treeStats())
+	return res, nil
+}
+
+// Advance performs an incremental run: drop oldest splits, add new ones.
+//
+//   - Append mode: drop must be 0.
+//   - Fixed mode: drop must equal len(add), both a positive multiple of
+//     the bucket width w.
+//   - Variable mode: any combination.
+func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) {
+	if !rt.started {
+		return nil, ErrNotInitial
+	}
+	if err := rt.checkAdvance(drop, len(add)); err != nil {
+		return nil, err
+	}
+	rec := metrics.NewRecorder()
+	bg := metrics.NewRecorder()
+	rt.store.ResetReadStats()
+	statsBefore := rt.treeStats()
+
+	baseSeq := rt.seq
+	results, err := rt.mapAdds(add, rec)
+	if err != nil {
+		return nil, err
+	}
+	rt.windowLo += uint64(drop)
+	rt.live -= drop
+
+	rt.pendingBuckets = make([]Payload, rt.parts)
+	// A single-bucket slide in Fixed+split mode takes the pre-combined
+	// foreground path; the decision is uniform across partitions and
+	// made here so partition goroutines only read it.
+	rt.hasPending = rt.cfg.Mode == Fixed && rt.cfg.Engine == SelfAdjusting &&
+		rt.cfg.SplitProcessing && len(add) == rt.cfg.BucketSplits
+	roots := make([][]Payload, rt.parts)
+	if err := rt.forEachPartition(func(p int) error {
+		start := time.Now()
+		payloads := partPayloads(results, p)
+		var err error
+		roots[p], err = rt.advancePartition(p, drop, baseSeq, payloads)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		// The update rewrites the recomputed root-path nodes into the
+		// memoization layer: one new root for append-only windows,
+		// roughly twice the root payload for a log-depth path.
+		var rootBytes int64
+		for _, r := range roots[p] {
+			rootBytes += mapreduce.PayloadBytes(rt.job, r)
+		}
+		if rt.cfg.Mode != Append {
+			rootBytes *= 2
+		}
+		writeNs := rt.store.ChargeWrite(rootBytes)
+		rt.recordContraction(rec, p, elapsed+time.Duration(writeNs), roots[p])
+		rt.chargeStateRead(p, roots[p])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	out := rt.reduceAll(rec, roots)
+	statsFg := rt.treeStats()
+	rt.runBackground(bg)
+	rt.store.GC(rt.windowLo)
+	if rt.cfg.GCPolicy != nil {
+		rt.store.GCFunc(rt.cfg.GCPolicy)
+	}
+	res := rt.finish(out, rec, bg, statsBefore)
+	res.TreeStatsBackground = statsDelta(statsFg, rt.treeStats())
+	res.TreeStats = statsDelta(statsBefore, statsFg)
+	return res, nil
+}
+
+// statsDelta returns after − before.
+func statsDelta(before, after core.Stats) core.Stats {
+	return core.Stats{
+		Merges:          after.Merges - before.Merges,
+		NodesRecomputed: after.NodesRecomputed - before.NodesRecomputed,
+		NodesReused:     after.NodesReused - before.NodesReused,
+	}
+}
+
+// advancePartition updates one partition's tree and returns the payloads
+// the final reduce consumes.
+func (rt *Runtime) advancePartition(p, drop int, baseSeq uint64, payloads []Payload) ([]Payload, error) {
+	if rt.cfg.Engine == Strawman {
+		rt.leaves[p] = append(rt.leaves[p][:0], rt.leaves[p][drop:]...)
+		rt.leaves[p] = append(rt.leaves[p], makeItems(baseSeq, payloads)...)
+		rt.straw[p].Build(rt.leaves[p])
+		if root, ok := rt.straw[p].Root(); ok {
+			return []Payload{root}, nil
+		}
+		return nil, nil
+	}
+	switch rt.cfg.Mode {
+	case Append:
+		cNew := rt.foldPayloads(p, payloads)
+		if rt.cfg.SplitProcessing {
+			return rt.coal[p].AppendSplit(cNew), nil
+		}
+		return []Payload{rt.coal[p].Append(cNew)}, nil
+	case Fixed:
+		buckets := rt.formBuckets(p, payloads)
+		if rt.hasPending {
+			fg, err := rt.rot[p].RotateForeground(buckets[0])
+			if err != nil {
+				return nil, err
+			}
+			rt.pendingBuckets[p] = buckets[0]
+			return []Payload{fg}, nil
+		}
+		for _, b := range buckets {
+			if err := rt.rot[p].Rotate(b); err != nil {
+				return nil, err
+			}
+		}
+		if rt.cfg.SplitProcessing {
+			// Multi-bucket slides fall back to in-place rotation;
+			// re-prepare so the next single-bucket slide stays fast.
+			if err := rt.rot[p].PrepareBackground(); err != nil {
+				return nil, err
+			}
+		}
+		if root, ok := rt.rot[p].Root(); ok {
+			return []Payload{root}, nil
+		}
+		return nil, nil
+	default: // Variable
+		if rt.cfg.Randomized {
+			if err := rt.rnd[p].Slide(drop, makeItems(baseSeq, payloads)); err != nil {
+				return nil, err
+			}
+			if root, ok := rt.rnd[p].Root(); ok {
+				return []Payload{root}, nil
+			}
+			return nil, nil
+		}
+		if err := rt.fold[p].Slide(drop, payloads); err != nil {
+			return nil, err
+		}
+		if root, ok := rt.fold[p].Root(); ok {
+			return []Payload{root}, nil
+		}
+		return nil, nil
+	}
+}
+
+// runBackground performs the deferred background pre-processing of split
+// mode, recording its cost separately (Figure 11).
+func (rt *Runtime) runBackground(bg *metrics.Recorder) {
+	if !rt.cfg.SplitProcessing || rt.cfg.Engine == Strawman {
+		return
+	}
+	switch rt.cfg.Mode {
+	case Append:
+		for p := 0; p < rt.parts; p++ {
+			start := time.Now()
+			rt.coal[p].Background()
+			bg.RecordTask(metrics.Task{
+				Phase:         metrics.PhaseContraction,
+				Cost:          time.Since(start),
+				PreferredNode: rt.partNode(p),
+			})
+		}
+	case Fixed:
+		if !rt.hasPending {
+			return
+		}
+		for p := 0; p < rt.parts; p++ {
+			start := time.Now()
+			// Background installs the bucket and pre-combines for the
+			// next slide.
+			if err := rt.rot[p].Background(rt.pendingBuckets[p]); err != nil {
+				return
+			}
+			bg.RecordTask(metrics.Task{
+				Phase:         metrics.PhaseContraction,
+				Cost:          time.Since(start),
+				PreferredNode: rt.partNode(p),
+			})
+		}
+		rt.pendingBuckets = nil
+		rt.hasPending = false
+	}
+}
+
+// reduceAll applies the final Reduce per partition, timed as reduce tasks.
+func (rt *Runtime) reduceAll(rec *metrics.Recorder, roots [][]Payload) mapreduce.Output {
+	out := make(mapreduce.Output)
+	for p := 0; p < rt.parts; p++ {
+		start := time.Now()
+		partOut, calls := mapreduce.ReducePayload(rt.job, roots[p])
+		var bytes int64
+		for _, r := range roots[p] {
+			bytes += mapreduce.PayloadBytes(rt.job, r)
+		}
+		rec.RecordTask(metrics.Task{
+			Phase:         metrics.PhaseReduce,
+			Cost:          time.Since(start),
+			InputBytes:    bytes,
+			PreferredNode: rt.partNode(p),
+		})
+		rec.Add(metrics.Counters{ReduceCalls: calls})
+		for k, v := range partOut {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// recordContraction records one contraction task, transferring the
+// partition's merge counter into the recorder.
+func (rt *Runtime) recordContraction(rec *metrics.Recorder, p int, cost time.Duration, roots []Payload) {
+	var bytes int64
+	for _, r := range roots {
+		bytes += mapreduce.PayloadBytes(rt.job, r)
+	}
+	rec.RecordTask(metrics.Task{
+		Phase:         metrics.PhaseContraction,
+		Cost:          cost,
+		InputBytes:    bytes,
+		PreferredNode: rt.partNode(p),
+	})
+	rec.Add(metrics.Counters{CombineCalls: rt.combines[p]})
+	rt.combines[p] = 0
+}
+
+// chargeStateRead charges the shim I/O layer for the memoized state the
+// partition's update read (Table 2's read-time accounting).
+func (rt *Runtime) chargeStateRead(p int, roots []Payload) {
+	var bytes int64
+	for _, r := range roots {
+		bytes += mapreduce.PayloadBytes(rt.job, r)
+	}
+	if bytes > 0 {
+		rt.store.ChargeRead("part:"+strconv.Itoa(p), bytes, rt.partNode(p))
+	}
+}
+
+// checkAdvance validates the slide shape against the mode.
+func (rt *Runtime) checkAdvance(drop, add int) error {
+	switch rt.cfg.Mode {
+	case Append:
+		if drop != 0 {
+			return fmt.Errorf("%w: append-only windows cannot drop (drop=%d)", ErrBadAdvance, drop)
+		}
+		if add == 0 {
+			return fmt.Errorf("%w: append of zero splits", ErrBadAdvance)
+		}
+	case Fixed:
+		w := rt.cfg.BucketSplits
+		if rt.cfg.Engine == Strawman {
+			if drop != add {
+				return fmt.Errorf("%w: fixed-width windows need drop == add (got %d, %d)", ErrBadAdvance, drop, add)
+			}
+			return nil
+		}
+		if drop != add || add == 0 || add%w != 0 {
+			return fmt.Errorf("%w: fixed-width slides need drop == add == k×w (w=%d, got drop=%d add=%d)", ErrBadAdvance, w, drop, add)
+		}
+	case Variable:
+		if drop < 0 || drop > rt.live {
+			return fmt.Errorf("%w: drop=%d with %d live splits", ErrBadAdvance, drop, rt.live)
+		}
+	}
+	return nil
+}
+
+// formBuckets groups partition p's per-split payloads into buckets of w
+// splits each.
+func (rt *Runtime) formBuckets(p int, payloads []Payload) []Payload {
+	w := rt.cfg.BucketSplits
+	buckets := make([]Payload, 0, (len(payloads)+w-1)/w)
+	for i := 0; i < len(payloads); i += w {
+		end := i + w
+		if end > len(payloads) {
+			end = len(payloads)
+		}
+		buckets = append(buckets, rt.foldPayloads(p, payloads[i:end]))
+	}
+	return buckets
+}
+
+// forEachPartition runs fn(p) for every partition, concurrently up to the
+// configured parallelism, and returns the first error. Each partition
+// touches only its own tree, counter, and result slots.
+func (rt *Runtime) forEachPartition(fn func(p int) error) error {
+	par := rt.cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > rt.parts {
+		par = rt.parts
+	}
+	if par <= 1 {
+		for p := 0; p < rt.parts; p++ {
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, rt.parts)
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for p := 0; p < rt.parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[p] = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocTrees instantiates the per-partition trees for the configuration.
+func (rt *Runtime) allocTrees() {
+	n := rt.parts
+	rt.combines = make([]int64, n)
+	if rt.cfg.Engine == Strawman {
+		rt.straw = make([]*core.StrawmanTree[Payload], n)
+		rt.leaves = make([][]core.Item[Payload], n)
+		for p := range rt.straw {
+			rt.straw[p] = core.NewStrawman(rt.mergeFor(p))
+		}
+		return
+	}
+	switch rt.cfg.Mode {
+	case Append:
+		rt.coal = make([]*core.CoalescingTree[Payload], n)
+		for p := range rt.coal {
+			rt.coal[p] = core.NewCoalescing(rt.mergeFor(p))
+		}
+	case Fixed:
+		rt.rot = make([]*core.RotatingTree[Payload], n)
+		for p := range rt.rot {
+			rt.rot[p] = core.NewRotating(rt.mergeFor(p), rt.cfg.WindowBuckets)
+		}
+	default:
+		if rt.cfg.Randomized {
+			rt.rnd = make([]*core.RandomizedFoldingTree[Payload], n)
+			for p := range rt.rnd {
+				rt.rnd[p] = core.NewRandomizedFolding(rt.mergeFor(p), rt.cfg.Seed+uint64(p)+1)
+			}
+		} else {
+			rt.fold = make([]*core.FoldingTree[Payload], n)
+			factor := rt.cfg.RebuildFactor
+			for p := range rt.fold {
+				if factor < 0 {
+					rt.fold[p] = core.NewFolding(rt.mergeFor(p), core.WithRebuildFactor[Payload](0))
+				} else if factor > 0 {
+					rt.fold[p] = core.NewFolding(rt.mergeFor(p), core.WithRebuildFactor[Payload](factor))
+				} else {
+					rt.fold[p] = core.NewFolding(rt.mergeFor(p))
+				}
+			}
+		}
+	}
+}
+
+// partitionTreeBytes sums the payload bytes materialized by partition p's
+// tree.
+func (rt *Runtime) partitionTreeBytes(p int) int64 {
+	var total int64
+	count := func(pl Payload) { total += mapreduce.PayloadBytes(rt.job, pl) }
+	switch {
+	case rt.straw != nil:
+		rt.straw[p].ForEachPayload(count)
+	case rt.coal != nil:
+		rt.coal[p].ForEachPayload(count)
+	case rt.rot != nil:
+		rt.rot[p].ForEachPayload(count)
+	case rt.rnd != nil:
+		rt.rnd[p].ForEachPayload(count)
+	case rt.fold != nil:
+		rt.fold[p].ForEachPayload(count)
+	}
+	return total
+}
+
+// treeStats sums the work counters across all partitions' trees.
+func (rt *Runtime) treeStats() core.Stats {
+	var total core.Stats
+	addStats := func(s core.Stats) {
+		total.Merges += s.Merges
+		total.NodesRecomputed += s.NodesRecomputed
+		total.NodesReused += s.NodesReused
+	}
+	for _, t := range rt.coal {
+		addStats(t.Stats())
+	}
+	for _, t := range rt.rot {
+		addStats(t.Stats())
+	}
+	for _, t := range rt.fold {
+		addStats(t.Stats())
+	}
+	for _, t := range rt.rnd {
+		addStats(t.Stats())
+	}
+	for _, t := range rt.straw {
+		addStats(t.Stats())
+	}
+	return total
+}
+
+// spaceBytes sums all memoized state: tree payloads plus cached map
+// outputs.
+func (rt *Runtime) spaceBytes() int64 {
+	var total int64
+	count := func(p Payload) { total += mapreduce.PayloadBytes(rt.job, p) }
+	for _, t := range rt.coal {
+		t.ForEachPayload(count)
+	}
+	for _, t := range rt.rot {
+		t.ForEachPayload(count)
+	}
+	for _, t := range rt.fold {
+		t.ForEachPayload(count)
+	}
+	for _, t := range rt.rnd {
+		t.ForEachPayload(count)
+	}
+	for _, t := range rt.straw {
+		t.ForEachPayload(count)
+	}
+	total += rt.store.Stats().Bytes
+	return total
+}
+
+// finish assembles the RunResult. Callers overwrite TreeStats /
+// TreeStatsBackground with precise foreground/background deltas.
+func (rt *Runtime) finish(out mapreduce.Output, rec, bg *metrics.Recorder, before core.Stats) *RunResult {
+	rt.runs++
+	return &RunResult{
+		Output:     out,
+		Report:     rec.Snapshot(),
+		Background: bg.Snapshot(),
+		TreeStats:  statsDelta(before, rt.treeStats()),
+		SpaceBytes: rt.spaceBytes(),
+		ReadTimeNs: rt.store.Stats().ReadTimeNs,
+	}
+}
+
+// partPayloads extracts partition p's payload from each map result.
+func partPayloads(results []mapreduce.MapResult, p int) []Payload {
+	out := make([]Payload, len(results))
+	for i, r := range results {
+		out[i] = r.Parts[p]
+	}
+	return out
+}
+
+// makeItems pairs payloads with their split sequence IDs.
+func makeItems(base uint64, payloads []Payload) []core.Item[Payload] {
+	items := make([]core.Item[Payload], len(payloads))
+	for i, p := range payloads {
+		items[i] = core.Item[Payload]{ID: base + uint64(i), Payload: p}
+	}
+	return items
+}
+
+// Store exposes the memoization layer (for fault injection in tests and
+// the Table 2 experiment).
+func (rt *Runtime) Store() *memo.Store { return rt.store }
+
+// Live returns the number of splits currently in the window.
+func (rt *Runtime) Live() int { return rt.live }
+
+// WindowLo returns the sequence number of the oldest live split.
+func (rt *Runtime) WindowLo() uint64 { return rt.windowLo }
+
+// RuntimeStats summarizes a runtime's cumulative activity across runs.
+type RuntimeStats struct {
+	// Runs is the number of completed runs (initial + incremental).
+	Runs int64
+	// LiveSplits is the current window length in splits.
+	LiveSplits int
+	// WindowLo is the sequence number of the oldest live split.
+	WindowLo uint64
+	// TreeStats is the cumulative contraction-tree work.
+	TreeStats core.Stats
+	// Memo is the memoization layer's snapshot.
+	Memo memo.Stats
+}
+
+// Stats returns a snapshot of the runtime's cumulative activity.
+func (rt *Runtime) Stats() RuntimeStats {
+	return RuntimeStats{
+		Runs:       rt.runs,
+		LiveSplits: rt.live,
+		WindowLo:   rt.windowLo,
+		TreeStats:  rt.treeStats(),
+		Memo:       rt.store.Stats(),
+	}
+}

@@ -1,0 +1,286 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"slider/internal/mapreduce"
+	"slider/internal/memo"
+	"slider/internal/sliderrt"
+)
+
+func sumJob() *mapreduce.Job {
+	sum := func(_ string, values []mapreduce.Value) mapreduce.Value {
+		var total int64
+		for _, v := range values {
+			total += v.(int64)
+		}
+		return total
+	}
+	return &mapreduce.Job{
+		Name:       "wordcount",
+		Partitions: 2,
+		Map: func(rec mapreduce.Record, emit mapreduce.Emit) error {
+			for _, w := range strings.Fields(rec.(string)) {
+				emit(w, int64(1))
+			}
+			return nil
+		},
+		Combine:     sum,
+		Reduce:      sum,
+		Commutative: true,
+	}
+}
+
+func smallMemo() sliderrt.Config {
+	cfg := memo.DefaultConfig()
+	cfg.Nodes = 4
+	return sliderrt.Config{Memo: cfg}
+}
+
+func TestCountWindowFixed(t *testing.T) {
+	var outputs []Output
+	w, err := NewCountWindow(CountConfig{
+		Job:             sumJob(),
+		RecordsPerSplit: 2,
+		WindowSplits:    4,
+		SlideSplits:     2,
+		Config:          smallMemo(),
+	}, func(o Output) error { outputs = append(outputs, o); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 records = 4 splits = the initial window.
+	for i := 0; i < 8; i++ {
+		if err := w.Push(fmt.Sprintf("w%d common", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(outputs) != 1 {
+		t.Fatalf("outputs after initial window = %d, want 1", len(outputs))
+	}
+	if got := outputs[0].Result.Output["common"].(int64); got != 8 {
+		t.Fatalf("common = %d, want 8", got)
+	}
+	// 4 more records = 2 splits = one slide.
+	for i := 8; i < 12; i++ {
+		if err := w.Push(fmt.Sprintf("w%d common", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(outputs) != 2 {
+		t.Fatalf("outputs after slide = %d, want 2", len(outputs))
+	}
+	// Window still holds 8 records: w0..w3 slid out.
+	out := outputs[1].Result.Output
+	if out["common"].(int64) != 8 {
+		t.Fatalf("common = %d after slide", out["common"])
+	}
+	if _, ok := out["w0"]; ok {
+		t.Fatal("w0 should have slid out")
+	}
+	if _, ok := out["w11"]; !ok {
+		t.Fatal("w11 should be in the window")
+	}
+}
+
+func TestCountWindowAppend(t *testing.T) {
+	var outputs []Output
+	w, err := NewCountWindow(CountConfig{
+		Job:             sumJob(),
+		RecordsPerSplit: 1,
+		WindowSplits:    2,
+		SlideSplits:     0, // append-only
+		Config:          smallMemo(),
+	}, func(o Output) error { outputs = append(outputs, o); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Push("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Initial at 2 splits, then one run per appended split: 1 + 3.
+	if len(outputs) != 4 {
+		t.Fatalf("outputs = %d, want 4", len(outputs))
+	}
+	final := outputs[len(outputs)-1].Result.Output
+	if final["x"].(int64) != 5 {
+		t.Fatalf("x = %d, want 5 (append-only grows)", final["x"])
+	}
+}
+
+func TestCountWindowValidation(t *testing.T) {
+	sink := func(Output) error { return nil }
+	if _, err := NewCountWindow(CountConfig{Job: sumJob(), RecordsPerSplit: 0, WindowSplits: 2}, sink); err == nil {
+		t.Fatal("zero split size accepted")
+	}
+	if _, err := NewCountWindow(CountConfig{Job: sumJob(), RecordsPerSplit: 1, WindowSplits: 3, SlideSplits: 2}, sink); err == nil {
+		t.Fatal("non-divisible slide accepted")
+	}
+	if _, err := NewCountWindow(CountConfig{Job: sumJob(), RecordsPerSplit: 1, WindowSplits: 2, SlideSplits: 3}, sink); err == nil {
+		t.Fatal("slide > window accepted")
+	}
+}
+
+func TestCountWindowStop(t *testing.T) {
+	w, err := NewCountWindow(CountConfig{
+		Job: sumJob(), RecordsPerSplit: 1, WindowSplits: 1, SlideSplits: 1,
+		Config: smallMemo(),
+	}, func(Output) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.Push("x"); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestTimeWindowSlides(t *testing.T) {
+	var outputs []Output
+	w, err := NewTimeWindow(TimeConfig{
+		Job:             sumJob(),
+		Window:          3 * time.Minute,
+		Slide:           time.Minute,
+		RecordsPerSplit: 2,
+		Config:          smallMemo(),
+	}, func(o Output) error { outputs = append(outputs, o); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	// Minute 0: 3 records; minute 1: 1 record; minute 2: 4 records;
+	// minute 3: 2 records; minute 4: 2 records.
+	perMinute := []int{3, 1, 4, 2, 2}
+	for minute, n := range perMinute {
+		for i := 0; i < n; i++ {
+			rec := TimedRecord{
+				At:     epoch.Add(time.Duration(minute)*time.Minute + time.Duration(i)*time.Second),
+				Record: fmt.Sprintf("m%d common", minute),
+			}
+			if err := w.Push(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Windows: [0,3) fires when minute 3 opens; [1,4) when minute 4
+	// opens; [2,5) on Flush.
+	if len(outputs) != 3 {
+		t.Fatalf("outputs = %d, want 3", len(outputs))
+	}
+	first := outputs[0].Result.Output
+	if first["common"].(int64) != 8 {
+		t.Fatalf("window[0,3) common = %d, want 8", first["common"])
+	}
+	second := outputs[1].Result.Output
+	if second["common"].(int64) != 7 {
+		t.Fatalf("window[1,4) common = %d, want 7", second["common"])
+	}
+	if _, ok := second["m0"]; ok {
+		t.Fatal("minute 0 should have slid out")
+	}
+	third := outputs[2].Result.Output
+	if third["common"].(int64) != 8 {
+		t.Fatalf("window[2,5) common = %d, want 8", third["common"])
+	}
+}
+
+func TestTimeWindowEmptyPeriods(t *testing.T) {
+	var outputs []Output
+	w, err := NewTimeWindow(TimeConfig{
+		Job:             sumJob(),
+		Window:          2 * time.Minute,
+		Slide:           time.Minute,
+		RecordsPerSplit: 2,
+		Config:          smallMemo(),
+	}, func(o Output) error { outputs = append(outputs, o); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	// Records in minute 0, then a gap (minutes 1–2 empty), then minute 3.
+	if err := w.Push(TimedRecord{At: epoch, Record: "a a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Push(TimedRecord{At: epoch.Add(3 * time.Minute), Record: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) == 0 {
+		t.Fatal("no outputs across the gap")
+	}
+	last := outputs[len(outputs)-1].Result.Output
+	if _, ok := last["a"]; ok {
+		t.Fatal("minute-0 records survived past the window")
+	}
+	if last["b"].(int64) != 1 {
+		t.Fatalf("b = %v", last["b"])
+	}
+}
+
+func TestTimeWindowValidation(t *testing.T) {
+	sink := func(Output) error { return nil }
+	if _, err := NewTimeWindow(TimeConfig{Job: sumJob(), Window: time.Minute, Slide: 0, RecordsPerSplit: 1}, sink); err == nil {
+		t.Fatal("zero slide accepted")
+	}
+	if _, err := NewTimeWindow(TimeConfig{Job: sumJob(), Window: 90 * time.Second, Slide: time.Minute, RecordsPerSplit: 1}, sink); err == nil {
+		t.Fatal("non-multiple window accepted")
+	}
+}
+
+func TestCountWindowCheckpointResume(t *testing.T) {
+	// The stream driver exposes its runtime for checkpointing; a resumed
+	// runtime continues the same window.
+	var outputs []Output
+	cfg := CountConfig{
+		Job:             sumJob(),
+		RecordsPerSplit: 1,
+		WindowSplits:    4,
+		SlideSplits:     2,
+		Config:          smallMemo(),
+	}
+	w, err := NewCountWindow(cfg, func(o Output) error {
+		outputs = append(outputs, o)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := w.Push("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := w.Runtime().Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rc := cfg.Config
+	rc.Mode = sliderrt.Fixed
+	rc.BucketSplits = cfg.SlideSplits
+	rc.WindowBuckets = cfg.WindowSplits / cfg.SlideSplits
+	restored, err := sliderrt.Restore(sumJob(), rc, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := restored.Advance(2, []mapreduce.Split{
+		{ID: "r0", Records: []mapreduce.Record{"x"}},
+		{ID: "r1", Records: []mapreduce.Record{"x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output["x"].(int64) != 4 {
+		t.Fatalf("x = %v after resume, want 4", res.Output["x"])
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"strconv"
+
+	"slider/internal/mapreduce"
+)
+
+// ClientLog is one record of the NetSession case study (§8.3): a
+// tamper-evident log chunk uploaded by one hybrid-CDN client, to be
+// audited PeerReview-style by recomputing its hash chain.
+type ClientLog struct {
+	// Client identifies the uploading client.
+	Client uint32
+	// Week is the activity week the chunk covers.
+	Week int
+	// Entries is the hash chain: Entries[i] must equal
+	// chain(Entries[i-1], i) for an untampered log.
+	Entries []uint64
+}
+
+// ChainStep computes one step of the tamper-evident hash chain. The audit
+// job recomputes it for every entry.
+func ChainStep(prev uint64, i int) uint64 {
+	x := prev ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NetSessionConfig parameterizes the synthetic CDN accountability logs,
+// the substitute for Akamai's NetSession traces (§8.3).
+type NetSessionConfig struct {
+	// Seed fixes the log stream.
+	Seed int64
+	// Clients is the client population.
+	Clients int
+	// LogsPerSplit is the number of log chunks per input split.
+	LogsPerSplit int
+	// EntriesPerLog is the hash-chain length per chunk.
+	EntriesPerLog int
+	// TamperRate is the fraction of chunks with a corrupted chain.
+	TamperRate float64
+}
+
+// DefaultNetSessionConfig returns a laptop-scale log workload.
+func DefaultNetSessionConfig() NetSessionConfig {
+	return NetSessionConfig{Seed: 42, Clients: 5000, LogsPerSplit: 60, EntriesPerLog: 200, TamperRate: 0.02}
+}
+
+// NetSession generates weekly client-log splits. The number of splits per
+// week varies with the fraction of clients online to upload — the
+// variable-width window driver of Table 5.
+type NetSession struct {
+	cfg NetSessionConfig
+}
+
+// NewNetSession returns a log generator.
+func NewNetSession(cfg NetSessionConfig) *NetSession {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1000
+	}
+	if cfg.LogsPerSplit <= 0 {
+		cfg.LogsPerSplit = 60
+	}
+	if cfg.EntriesPerLog <= 0 {
+		cfg.EntriesPerLog = 200
+	}
+	return &NetSession{cfg: cfg}
+}
+
+// Split returns log split i, attributed to the given week.
+func (n *NetSession) Split(i, week int) mapreduce.Split {
+	rng := splitRNG(n.cfg.Seed, "netsession", i)
+	records := make([]mapreduce.Record, n.cfg.LogsPerSplit)
+	for j := range records {
+		entries := make([]uint64, n.cfg.EntriesPerLog)
+		var prev uint64
+		for e := range entries {
+			prev = ChainStep(prev, e)
+			entries[e] = prev
+		}
+		if rng.Float64() < n.cfg.TamperRate {
+			// Corrupt one entry mid-chain.
+			entries[rng.Intn(len(entries))] ^= 0xdead
+		}
+		records[j] = ClientLog{
+			Client:  uint32(rng.Intn(n.cfg.Clients)),
+			Week:    week,
+			Entries: entries,
+		}
+	}
+	return mapreduce.Split{ID: "nslog-" + strconv.Itoa(i), Records: records}
+}
+
+// WeekSplits returns the splits for one week given the fraction of
+// clients online to upload (uploadPct in [0,1]): fewer uploads, fewer
+// splits — a variable-width window.
+func (n *NetSession) WeekSplits(firstIndex, week, fullSplits int, uploadPct float64) []mapreduce.Split {
+	count := int(float64(fullSplits)*uploadPct + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	out := make([]mapreduce.Split, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, n.Split(firstIndex+i, week))
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+
+	"slider/internal/mapreduce"
+)
+
+// PigMixConfig parameterizes the synthetic page-views dataset used by the
+// PigMix-style query-processing benchmark (§7.3, Figure 10).
+type PigMixConfig struct {
+	// Seed fixes the dataset.
+	Seed int64
+	// Users is the distinct user population.
+	Users int
+	// Pages is the distinct page population.
+	Pages int
+	// RowsPerSplit is the number of page-view events per input split.
+	RowsPerSplit int
+}
+
+// DefaultPigMixConfig returns a laptop-scale page-views stream.
+func DefaultPigMixConfig() PigMixConfig {
+	return PigMixConfig{Seed: 42, Users: 500, Pages: 200, RowsPerSplit: 300}
+}
+
+// PigMix generates page-view event splits with schema
+// (user, action, page, timespent, revenue) plus a static user→region
+// table for replicated joins.
+type PigMix struct {
+	cfg PigMixConfig
+}
+
+// NewPigMix returns a page-views generator.
+func NewPigMix(cfg PigMixConfig) *PigMix {
+	if cfg.Users <= 0 {
+		cfg.Users = 500
+	}
+	if cfg.Pages <= 0 {
+		cfg.Pages = 200
+	}
+	if cfg.RowsPerSplit <= 0 {
+		cfg.RowsPerSplit = 300
+	}
+	return &PigMix{cfg: cfg}
+}
+
+// Schema returns the event schema as LOADed by the queries.
+func (p *PigMix) Schema() []string {
+	return []string{"user", "action", "page", "timespent", "revenue"}
+}
+
+var pigmixActions = []string{"view", "view", "view", "click", "click", "purchase"}
+
+// Split returns event split i.
+func (p *PigMix) Split(i int) mapreduce.Split {
+	rng := splitRNG(p.cfg.Seed, "pigmix", i)
+	zipfUser := rand.NewZipf(rng, 1.2, 1, uint64(p.cfg.Users-1))
+	zipfPage := rand.NewZipf(rng, 1.3, 1, uint64(p.cfg.Pages-1))
+	records := make([]mapreduce.Record, p.cfg.RowsPerSplit)
+	for j := range records {
+		action := pigmixActions[rng.Intn(len(pigmixActions))]
+		revenue := 0.0
+		if action == "purchase" {
+			revenue = 1 + 99*rng.Float64()
+		}
+		records[j] = []any{
+			"u" + strconv.FormatUint(zipfUser.Uint64(), 10),
+			action,
+			"p" + strconv.FormatUint(zipfPage.Uint64(), 10),
+			float64(1 + rng.Intn(300)),
+			revenue,
+		}
+	}
+	return mapreduce.Split{ID: "pigmix-" + strconv.Itoa(i), Records: records}
+}
+
+// Range returns splits [lo, hi).
+func (p *PigMix) Range(lo, hi int) []mapreduce.Split {
+	out := make([]mapreduce.Split, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, p.Split(i))
+	}
+	return out
+}
+
+// UserTable returns the static user→region side table for replicated
+// joins: schema (user, region).
+func (p *PigMix) UserTable() (schema []string, rows [][]any) {
+	rng := rand.New(rand.NewSource(p.cfg.Seed ^ 0x7ab1e))
+	regions := []string{"na", "eu", "ap", "sa"}
+	rows = make([][]any, p.cfg.Users)
+	for u := range rows {
+		rows[u] = []any{"u" + strconv.Itoa(u), regions[rng.Intn(len(regions))]}
+	}
+	return []string{"user", "region"}, rows
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"slider/internal/mapreduce"
+)
+
+// Tweet is one record of the Twitter case study (§8.1): a user posting a
+// URL at a point in time.
+type Tweet struct {
+	// User is the posting user's ID.
+	User int32
+	// URL indexes the posted link.
+	URL int32
+	// Time is a monotonically increasing logical timestamp.
+	Time int64
+}
+
+// FollowGraph is the static follower graph the propagation-tree analysis
+// consults: Follows[u] lists the users u follows, sorted ascending.
+type FollowGraph struct {
+	follows [][]int32
+}
+
+// Users returns the number of users.
+func (g *FollowGraph) Users() int { return len(g.follows) }
+
+// Follows reports whether a follows b.
+func (g *FollowGraph) Follows(a, b int32) bool {
+	if int(a) >= len(g.follows) {
+		return false
+	}
+	list := g.follows[a]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= b })
+	return i < len(list) && list[i] == b
+}
+
+// FollowCount returns the out-degree of user u.
+func (g *FollowGraph) FollowCount(u int32) int {
+	if int(u) >= len(g.follows) {
+		return 0
+	}
+	return len(g.follows[u])
+}
+
+// TwitterConfig parameterizes the synthetic Twitter workload, the
+// substitute for the crawl of [38] (54M users / 1.7B tweets): a
+// preferential-attachment follower graph and a Zipf-popularity URL
+// stream.
+type TwitterConfig struct {
+	// Seed fixes the graph and the tweet stream.
+	Seed int64
+	// Users is the number of user accounts.
+	Users int
+	// MeanFollows is the average out-degree.
+	MeanFollows int
+	// URLs is the size of the URL pool.
+	URLs int
+	// TweetsPerSplit is the number of tweets per input split.
+	TweetsPerSplit int
+}
+
+// DefaultTwitterConfig returns a laptop-scale Twitter workload.
+func DefaultTwitterConfig() TwitterConfig {
+	return TwitterConfig{Seed: 42, Users: 2000, MeanFollows: 12, URLs: 400, TweetsPerSplit: 300}
+}
+
+// Twitter generates the follower graph and append-only tweet splits.
+type Twitter struct {
+	cfg   TwitterConfig
+	graph *FollowGraph
+}
+
+// NewTwitter materializes the follower graph (preferential attachment:
+// early users accumulate more followers, mirroring real social graphs).
+func NewTwitter(cfg TwitterConfig) *Twitter {
+	if cfg.Users <= 0 {
+		cfg.Users = 1000
+	}
+	if cfg.MeanFollows <= 0 {
+		cfg.MeanFollows = 10
+	}
+	if cfg.URLs <= 0 {
+		cfg.URLs = 200
+	}
+	if cfg.TweetsPerSplit <= 0 {
+		cfg.TweetsPerSplit = 300
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	follows := make([][]int32, cfg.Users)
+	for u := 1; u < cfg.Users; u++ {
+		n := 1 + rng.Intn(2*cfg.MeanFollows)
+		if max := (u + 1) / 2; n > max {
+			// A user can only follow accounts that already exist, and
+			// the quadratic attachment bias makes collecting nearly all
+			// early accounts slow — cap the out-degree for early users.
+			n = max
+		}
+		seen := map[int32]bool{int32(u): true}
+		list := make([]int32, 0, n)
+		for len(list) < n {
+			// Preferential attachment: quadratic bias toward low IDs.
+			f := rng.Float64()
+			target := int32(f * f * float64(u))
+			if !seen[target] {
+				seen[target] = true
+				list = append(list, target)
+			}
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		follows[u] = list
+	}
+	return &Twitter{cfg: cfg, graph: &FollowGraph{follows: follows}}
+}
+
+// Graph returns the follower graph consulted by the analysis job.
+func (t *Twitter) Graph() *FollowGraph { return t.graph }
+
+// Split returns tweet split i. Timestamps increase with the split index,
+// making the stream naturally append-only.
+func (t *Twitter) Split(i int) mapreduce.Split {
+	rng := splitRNG(t.cfg.Seed, "tweets", i)
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(t.cfg.URLs-1))
+	records := make([]mapreduce.Record, t.cfg.TweetsPerSplit)
+	base := int64(i) * int64(t.cfg.TweetsPerSplit)
+	for j := range records {
+		records[j] = Tweet{
+			User: int32(rng.Intn(t.cfg.Users)),
+			URL:  int32(zipf.Uint64()),
+			Time: base + int64(j),
+		}
+	}
+	return mapreduce.Split{ID: "tweets-" + strconv.Itoa(i), Records: records}
+}
+
+// Range returns splits [lo, hi).
+func (t *Twitter) Range(lo, hi int) []mapreduce.Split {
+	out := make([]mapreduce.Split, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, t.Split(i))
+	}
+	return out
+}

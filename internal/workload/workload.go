@@ -1,0 +1,192 @@
+// Package workload generates the deterministic synthetic datasets used by
+// the experiments, substituting for the paper's proprietary inputs
+// (Wikipedia text, the Twitter crawl, Glasnost packet traces, Akamai
+// NetSession logs — see DESIGN.md §2 for the substitution rationale).
+//
+// Every generator is a pure function of (seed, split index): regenerating
+// the same split always yields identical records, which is what lets the
+// benchmark harness compare incremental runs against recomputation from
+// scratch over the same window.
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"slider/internal/mapreduce"
+)
+
+// splitRNG returns a deterministic RNG for one split of one stream.
+func splitRNG(seed int64, stream string, index int) *rand.Rand {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(stream) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(seed ^ h ^ (int64(index)+1)*0x9e3779b9))
+}
+
+// TextConfig parameterizes the synthetic text corpus (the Wikipedia
+// substitute for the data-intensive apps HCT, Matrix, and subStr).
+type TextConfig struct {
+	// Seed fixes the corpus.
+	Seed int64
+	// LinesPerSplit is the number of lines per input split.
+	LinesPerSplit int
+	// WordsPerLine is the line length in words.
+	WordsPerLine int
+	// Vocabulary is the number of distinct words.
+	Vocabulary int
+	// ZipfS is the Zipf skew (must be > 1; ~1.2 resembles natural text).
+	ZipfS float64
+}
+
+// DefaultTextConfig returns a moderate corpus suitable for tests and the
+// benchmark harness.
+func DefaultTextConfig() TextConfig {
+	return TextConfig{Seed: 42, LinesPerSplit: 40, WordsPerLine: 12, Vocabulary: 2000, ZipfS: 1.2}
+}
+
+// Text generates splits of Zipf-distributed text lines.
+type Text struct {
+	cfg   TextConfig
+	vocab []string
+}
+
+// NewText builds a text generator with a materialized vocabulary.
+func NewText(cfg TextConfig) *Text {
+	if cfg.Vocabulary <= 0 {
+		cfg.Vocabulary = 1000
+	}
+	if cfg.LinesPerSplit <= 0 {
+		cfg.LinesPerSplit = 40
+	}
+	if cfg.WordsPerLine <= 0 {
+		cfg.WordsPerLine = 12
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := make([]string, cfg.Vocabulary)
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	seen := make(map[string]bool, cfg.Vocabulary)
+	for i := range vocab {
+		for {
+			n := 3 + rng.Intn(8)
+			var sb strings.Builder
+			for j := 0; j < n; j++ {
+				sb.WriteByte(letters[rng.Intn(len(letters))])
+			}
+			w := sb.String()
+			if !seen[w] {
+				seen[w] = true
+				vocab[i] = w
+				break
+			}
+		}
+	}
+	return &Text{cfg: cfg, vocab: vocab}
+}
+
+// Split returns text split i.
+func (t *Text) Split(i int) mapreduce.Split {
+	rng := splitRNG(t.cfg.Seed, "text", i)
+	zipf := rand.NewZipf(rng, t.cfg.ZipfS, 1, uint64(len(t.vocab)-1))
+	records := make([]mapreduce.Record, t.cfg.LinesPerSplit)
+	for l := range records {
+		var sb strings.Builder
+		for w := 0; w < t.cfg.WordsPerLine; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(t.vocab[zipf.Uint64()])
+		}
+		records[l] = sb.String()
+	}
+	return mapreduce.Split{ID: "text-" + strconv.Itoa(i), Records: records}
+}
+
+// Range returns splits [lo, hi).
+func (t *Text) Range(lo, hi int) []mapreduce.Split {
+	out := make([]mapreduce.Split, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, t.Split(i))
+	}
+	return out
+}
+
+// PointsConfig parameterizes the synthetic point cloud used by the
+// compute-intensive apps (K-Means, KNN): points sampled uniformly from a
+// unit cube, as in §7.1.
+type PointsConfig struct {
+	// Seed fixes the point stream.
+	Seed int64
+	// PointsPerSplit is the number of points per input split.
+	PointsPerSplit int
+	// Dim is the dimensionality (the paper uses 50).
+	Dim int
+}
+
+// DefaultPointsConfig mirrors the paper's 50-dimensional unit cube.
+func DefaultPointsConfig() PointsConfig {
+	return PointsConfig{Seed: 42, PointsPerSplit: 200, Dim: 50}
+}
+
+// Points generates splits of unit-cube points.
+type Points struct {
+	cfg PointsConfig
+}
+
+// NewPoints builds a point generator.
+func NewPoints(cfg PointsConfig) *Points {
+	if cfg.PointsPerSplit <= 0 {
+		cfg.PointsPerSplit = 200
+	}
+	if cfg.Dim <= 0 {
+		cfg.Dim = 50
+	}
+	return &Points{cfg: cfg}
+}
+
+// Dim returns the point dimensionality.
+func (p *Points) Dim() int { return p.cfg.Dim }
+
+// Split returns point split i.
+func (p *Points) Split(i int) mapreduce.Split {
+	rng := splitRNG(p.cfg.Seed, "points", i)
+	records := make([]mapreduce.Record, p.cfg.PointsPerSplit)
+	for j := range records {
+		pt := make([]float64, p.cfg.Dim)
+		for d := range pt {
+			pt[d] = rng.Float64()
+		}
+		records[j] = pt
+	}
+	return mapreduce.Split{ID: "pts-" + strconv.Itoa(i), Records: records}
+}
+
+// Range returns splits [lo, hi).
+func (p *Points) Range(lo, hi int) []mapreduce.Split {
+	out := make([]mapreduce.Split, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, p.Split(i))
+	}
+	return out
+}
+
+// QueryPoints returns k fixed query points (for KNN) drawn from the same
+// cube with a separate stream.
+func (p *Points) QueryPoints(k int) [][]float64 {
+	rng := splitRNG(p.cfg.Seed, "queries", 0)
+	out := make([][]float64, k)
+	for i := range out {
+		pt := make([]float64, p.cfg.Dim)
+		for d := range pt {
+			pt[d] = rng.Float64()
+		}
+		out[i] = pt
+	}
+	return out
+}

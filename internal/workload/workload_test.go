@@ -1,0 +1,328 @@
+package workload
+
+import (
+	"testing"
+
+	"slider/internal/mapreduce"
+)
+
+func sameSplit(a, b mapreduce.Split) bool {
+	if a.ID != b.ID || len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		switch x := a.Records[i].(type) {
+		case string:
+			if x != b.Records[i].(string) {
+				return false
+			}
+		case []float64:
+			y := b.Records[i].([]float64)
+			for d := range x {
+				if x[d] != y[d] {
+					return false
+				}
+			}
+		case Tweet:
+			if x != b.Records[i].(Tweet) {
+				return false
+			}
+		case TestRun:
+			if x != b.Records[i].(TestRun) {
+				return false
+			}
+		case ClientLog:
+			y := b.Records[i].(ClientLog)
+			if x.Client != y.Client || len(x.Entries) != len(y.Entries) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTextDeterministic(t *testing.T) {
+	g1 := NewText(DefaultTextConfig())
+	g2 := NewText(DefaultTextConfig())
+	for _, i := range []int{0, 1, 17, 1000} {
+		if !sameSplit(g1.Split(i), g2.Split(i)) {
+			t.Fatalf("split %d differs across generator instances", i)
+		}
+	}
+	if sameSplit(g1.Split(3), g1.Split(4)) {
+		t.Fatal("distinct splits are identical")
+	}
+}
+
+func TestTextShape(t *testing.T) {
+	cfg := TextConfig{Seed: 1, LinesPerSplit: 7, WordsPerLine: 5, Vocabulary: 100, ZipfS: 1.5}
+	g := NewText(cfg)
+	s := g.Split(0)
+	if len(s.Records) != 7 {
+		t.Fatalf("lines = %d, want 7", len(s.Records))
+	}
+	if got := g.Range(2, 5); len(got) != 3 || got[0].ID != "text-2" {
+		t.Fatalf("range misbehaved: %v", got[0].ID)
+	}
+}
+
+func TestPointsInUnitCube(t *testing.T) {
+	g := NewPoints(PointsConfig{Seed: 1, PointsPerSplit: 50, Dim: 10})
+	s := g.Split(3)
+	if len(s.Records) != 50 {
+		t.Fatalf("points = %d", len(s.Records))
+	}
+	for _, r := range s.Records {
+		pt := r.([]float64)
+		if len(pt) != 10 {
+			t.Fatalf("dim = %d", len(pt))
+		}
+		for _, v := range pt {
+			if v < 0 || v >= 1 {
+				t.Fatalf("coordinate %f outside unit cube", v)
+			}
+		}
+	}
+	if len(g.QueryPoints(5)) != 5 {
+		t.Fatal("query points")
+	}
+}
+
+func TestPointsDeterministic(t *testing.T) {
+	g1 := NewPoints(DefaultPointsConfig())
+	g2 := NewPoints(DefaultPointsConfig())
+	if !sameSplit(g1.Split(9), g2.Split(9)) {
+		t.Fatal("point split not deterministic")
+	}
+}
+
+func TestTwitterGraph(t *testing.T) {
+	tw := NewTwitter(TwitterConfig{Seed: 3, Users: 500, MeanFollows: 8, URLs: 50, TweetsPerSplit: 100})
+	g := tw.Graph()
+	if g.Users() != 500 {
+		t.Fatalf("users = %d", g.Users())
+	}
+	// Preferential attachment: user 0 (oldest) should be followed far
+	// more often than a late user.
+	followersOf := func(target int32) int {
+		n := 0
+		for u := int32(0); u < 500; u++ {
+			if g.Follows(u, target) {
+				n++
+			}
+		}
+		return n
+	}
+	if followersOf(0) <= followersOf(450) {
+		t.Fatalf("no preferential attachment: followers(0)=%d followers(450)=%d",
+			followersOf(0), followersOf(450))
+	}
+	// Follow lists must be queryable and self-loops absent.
+	for u := int32(1); u < 20; u++ {
+		if g.Follows(u, u) {
+			t.Fatalf("user %d follows itself", u)
+		}
+	}
+}
+
+func TestTwitterTweetsAppendOnly(t *testing.T) {
+	tw := NewTwitter(DefaultTwitterConfig())
+	s0 := tw.Split(0)
+	s1 := tw.Split(1)
+	last := s0.Records[len(s0.Records)-1].(Tweet).Time
+	first := s1.Records[0].(Tweet).Time
+	if first <= last {
+		t.Fatalf("timestamps not monotone across splits: %d then %d", last, first)
+	}
+}
+
+func TestGlasnostMonths(t *testing.T) {
+	g := NewGlasnost(GlasnostConfig{Seed: 5, Servers: 4, RunsPerSplit: 20, SplitsPerMonth: 3})
+	splits := g.MonthRange(0, 2)
+	if len(splits) != 6 {
+		t.Fatalf("splits = %d, want 6", len(splits))
+	}
+	for _, s := range splits {
+		for _, r := range s.Records {
+			run := r.(TestRun)
+			if run.MinRTTMs <= 0 || run.Server < 0 || run.Server >= 4 {
+				t.Fatalf("bad run %+v", run)
+			}
+		}
+	}
+}
+
+func TestNetSessionUploadScaling(t *testing.T) {
+	n := NewNetSession(DefaultNetSessionConfig())
+	full := n.WeekSplits(0, 1, 8, 1.0)
+	partial := n.WeekSplits(8, 2, 8, 0.75)
+	if len(full) != 8 {
+		t.Fatalf("full week = %d splits", len(full))
+	}
+	if len(partial) != 6 {
+		t.Fatalf("75%% week = %d splits, want 6", len(partial))
+	}
+}
+
+func TestNetSessionChainsVerify(t *testing.T) {
+	cfg := DefaultNetSessionConfig()
+	cfg.TamperRate = 0
+	n := NewNetSession(cfg)
+	s := n.Split(0, 0)
+	for _, r := range s.Records {
+		log := r.(ClientLog)
+		var prev uint64
+		for i, e := range log.Entries {
+			prev = ChainStep(prev, i)
+			if e != prev {
+				t.Fatal("untampered chain failed verification")
+			}
+		}
+	}
+}
+
+func TestNetSessionTampering(t *testing.T) {
+	cfg := DefaultNetSessionConfig()
+	cfg.TamperRate = 1.0
+	n := NewNetSession(cfg)
+	s := n.Split(0, 0)
+	tampered := 0
+	for _, r := range s.Records {
+		log := r.(ClientLog)
+		var prev uint64
+		for i, e := range log.Entries {
+			prev = ChainStep(prev, i)
+			if e != prev {
+				tampered++
+				break
+			}
+		}
+	}
+	if tampered != len(s.Records) {
+		t.Fatalf("tampered = %d of %d", tampered, len(s.Records))
+	}
+}
+
+func TestPigMixShape(t *testing.T) {
+	g := NewPigMix(PigMixConfig{Seed: 2, Users: 50, Pages: 20, RowsPerSplit: 30})
+	if got := g.Schema(); len(got) != 5 || got[0] != "user" {
+		t.Fatalf("schema = %v", got)
+	}
+	s := g.Split(0)
+	if len(s.Records) != 30 {
+		t.Fatalf("rows = %d", len(s.Records))
+	}
+	for _, r := range s.Records {
+		row := r.([]any)
+		if len(row) != 5 {
+			t.Fatalf("row width %d", len(row))
+		}
+		action := row[1].(string)
+		revenue := row[4].(float64)
+		if action != "purchase" && revenue != 0 {
+			t.Fatalf("non-purchase with revenue: %v", row)
+		}
+		if action == "purchase" && revenue <= 0 {
+			t.Fatalf("purchase without revenue: %v", row)
+		}
+	}
+	if got := g.Range(1, 4); len(got) != 3 || got[0].ID != "pigmix-1" {
+		t.Fatalf("range = %v", got[0].ID)
+	}
+}
+
+func TestPigMixDeterministic(t *testing.T) {
+	a := NewPigMix(DefaultPigMixConfig()).Split(5)
+	b := NewPigMix(DefaultPigMixConfig()).Split(5)
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i].([]any), b.Records[i].([]any)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("record %d field %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestPigMixUserTable(t *testing.T) {
+	g := NewPigMix(PigMixConfig{Seed: 3, Users: 40, Pages: 10, RowsPerSplit: 10})
+	schema, rows := g.UserTable()
+	if len(schema) != 2 || schema[1] != "region" {
+		t.Fatalf("schema = %v", schema)
+	}
+	if len(rows) != 40 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[7][0].(string) != "u7" {
+		t.Fatalf("row 7 = %v", rows[7])
+	}
+}
+
+func TestGlasnostVariableMonths(t *testing.T) {
+	g := NewGlasnost(GlasnostConfig{Seed: 9, Servers: 3, RunsPerSplit: 10, SplitsPerMonth: 6})
+	// Deterministic and within [0.5, 1.5]× the base volume.
+	sawVariation := false
+	for m := 0; m < 12; m++ {
+		n := g.MonthSplitCount(m)
+		if n != g.MonthSplitCount(m) {
+			t.Fatal("month split count not deterministic")
+		}
+		if n < 3 || n > 9 {
+			t.Fatalf("month %d has %d splits, outside [3,9]", m, n)
+		}
+		if n != 6 {
+			sawVariation = true
+		}
+		if got := g.MonthSplitsVar(m); len(got) != n {
+			t.Fatalf("month %d: %d splits, want %d", m, len(got), n)
+		}
+	}
+	if !sawVariation {
+		t.Fatal("no month-to-month volume variation")
+	}
+	// Consecutive months use contiguous, non-overlapping split indexes.
+	m0 := g.MonthSplitsVar(0)
+	m1 := g.MonthSplitsVar(1)
+	if m0[len(m0)-1].ID == m1[0].ID {
+		t.Fatal("months overlap")
+	}
+}
+
+func TestPointsDim(t *testing.T) {
+	g := NewPoints(PointsConfig{Seed: 1, PointsPerSplit: 5, Dim: 7})
+	if g.Dim() != 7 {
+		t.Fatalf("dim = %d", g.Dim())
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	// Zero-valued configs normalize rather than panic.
+	if s := NewText(TextConfig{}).Split(0); len(s.Records) == 0 {
+		t.Fatal("text defaults")
+	}
+	if s := NewPoints(PointsConfig{}).Split(0); len(s.Records) == 0 {
+		t.Fatal("points defaults")
+	}
+	if s := NewPigMix(PigMixConfig{}).Split(0); len(s.Records) == 0 {
+		t.Fatal("pigmix defaults")
+	}
+	if s := NewGlasnost(GlasnostConfig{}).Split(0); len(s.Records) == 0 {
+		t.Fatal("glasnost defaults")
+	}
+	if s := NewNetSession(NetSessionConfig{}).Split(0, 0); len(s.Records) == 0 {
+		t.Fatal("netsession defaults")
+	}
+	tw := NewTwitter(TwitterConfig{})
+	if tw.Graph().Users() == 0 {
+		t.Fatal("twitter defaults")
+	}
+	if tw.Graph().FollowCount(1) < 0 {
+		t.Fatal("follow count")
+	}
+	if tw.Graph().Follows(99999, 0) {
+		t.Fatal("out-of-range user follows someone")
+	}
+}

@@ -1,0 +1,287 @@
+// Package slider is a Go implementation of Slider, the incremental
+// sliding-window analytics system of Bhatotia, Acar, Junqueira and
+// Rodrigues (ACM Middleware 2014).
+//
+// Slider lets you write an ordinary, non-incremental MapReduce job — a
+// Map function, an associative Combine function, and a Reduce function —
+// and then run it over a sliding window of input splits. When the window
+// slides, Slider updates the output incrementally using self-adjusting
+// contraction trees: balanced trees of Combiner sub-computations through
+// which only the changed paths are recomputed, so an update costs work
+// proportional to the delta (with a logarithmic dependence on window
+// size) instead of the whole window.
+//
+// # Quick start
+//
+//	job := &slider.Job{
+//	    Name: "wordcount",
+//	    Map: func(rec slider.Record, emit slider.Emit) error {
+//	        for _, w := range strings.Fields(rec.(string)) {
+//	            emit(w, int64(1))
+//	        }
+//	        return nil
+//	    },
+//	    Combine: sum, Reduce: sum, Commutative: true,
+//	}
+//	rt, _ := slider.New(job, slider.Config{Mode: slider.Fixed,
+//	    BucketSplits: 2, WindowBuckets: 8})
+//	res, _ := rt.Initial(first16Splits)
+//	res, _ = rt.Advance(2, next2Splits) // incremental update
+//
+// Three window modes select the contraction tree (§3–§4 of the paper):
+// Append (coalescing trees), Fixed (rotating trees with optional split
+// processing), and Variable (folding trees, or randomized folding trees
+// with Config.Randomized). Config.Engine = Strawman selects the
+// memoization-only baseline the paper evaluates against.
+//
+// The query layer compiles Pig-Latin-like scripts into pipelines of
+// MapReduce jobs executed incrementally with multi-level trees (§5); see
+// ParseQuery, CompileQuery, and NewPipeline.
+package slider
+
+import (
+	"io"
+
+	"slider/internal/cluster"
+	"slider/internal/dist"
+	"slider/internal/mapreduce"
+	"slider/internal/memo"
+	"slider/internal/metrics"
+	"slider/internal/persist"
+	"slider/internal/pig"
+	"slider/internal/scheduler"
+	"slider/internal/sliderrt"
+	"slider/internal/stream"
+)
+
+// Core job model (see internal/mapreduce).
+type (
+	// Job is a non-incremental MapReduce program.
+	Job = mapreduce.Job
+	// Split is one unit of map-side input with a stable identity.
+	Split = mapreduce.Split
+	// Record is one input record.
+	Record = mapreduce.Record
+	// Value is an intermediate or final value.
+	Value = mapreduce.Value
+	// Emit is the map-side emission callback.
+	Emit = mapreduce.Emit
+	// Output is the job's final key→value result.
+	Output = mapreduce.Output
+	// Payload is the contraction-phase key→value map.
+	Payload = mapreduce.Payload
+)
+
+// Runtime configuration and execution (see internal/sliderrt).
+type (
+	// Config configures a Runtime.
+	Config = sliderrt.Config
+	// Mode selects the sliding-window variant.
+	Mode = sliderrt.Mode
+	// Engine selects self-adjusting trees or the strawman baseline.
+	Engine = sliderrt.Engine
+	// Runtime drives initial and incremental runs.
+	Runtime = sliderrt.Runtime
+	// RunResult is the outcome of one run.
+	RunResult = sliderrt.RunResult
+)
+
+// Window modes and engines.
+const (
+	// Append grows the window monotonically (coalescing trees, §4.2).
+	Append = sliderrt.Append
+	// Fixed slides a constant-width window (rotating trees, §4.1).
+	Fixed = sliderrt.Fixed
+	// Variable allows arbitrary shrink/grow (folding trees, §3).
+	Variable = sliderrt.Variable
+	// SelfAdjusting is the default engine.
+	SelfAdjusting = sliderrt.SelfAdjusting
+	// Strawman is the memoization-only baseline engine (§2).
+	Strawman = sliderrt.Strawman
+)
+
+// New returns a Runtime executing job under cfg.
+func New(job *Job, cfg Config) (*Runtime, error) { return sliderrt.New(job, cfg) }
+
+// Restore reconstructs a Runtime from a checkpoint written by
+// Runtime.Checkpoint. The job and configuration must match the
+// checkpointed runtime's. Custom Combine value types must have been
+// registered with RegisterValueType before checkpointing and restoring.
+func Restore(job *Job, cfg Config, r io.Reader) (*Runtime, error) {
+	return sliderrt.Restore(job, cfg, r)
+}
+
+// RegisterValueType makes a custom application value type serializable
+// for checkpointing (Runtime.Checkpoint / Restore), e.g.
+// slider.RegisterValueType(&MyAccumulator{}).
+func RegisterValueType(v any) { persist.RegisterType(v) }
+
+// CheckpointStore is a replicated, checksummed, atomic file store for
+// checkpoints and other durable state; reads fall back across replicas on
+// corruption.
+type CheckpointStore = persist.FileStore
+
+// NewCheckpointStore opens (creating if needed) a checkpoint store rooted
+// at dir with the given replication factor.
+func NewCheckpointStore(dir string, replicas int) (*CheckpointStore, error) {
+	return persist.NewFileStore(dir, replicas)
+}
+
+// RunScratch executes the job non-incrementally over a full window — the
+// recompute-from-scratch baseline.
+func RunScratch(job *Job, window []Split, parallelism int, rec *Recorder) (Output, error) {
+	return mapreduce.RunScratch(job, window, parallelism, rec)
+}
+
+// CheckJob property-tests a job's combiner contract (associativity,
+// declared commutativity, non-mutation) against real sample splits. Run
+// it in a test before trusting a new job to the incremental runtime.
+func CheckJob(job *Job, samples []Split) error {
+	return mapreduce.CheckJob(job, samples)
+}
+
+// Measurement and simulation (see internal/metrics, internal/cluster,
+// internal/scheduler).
+type (
+	// Recorder accumulates per-task costs during a run.
+	Recorder = metrics.Recorder
+	// Report is an immutable work summary.
+	Report = metrics.Report
+	// ClusterConfig describes the simulated cluster.
+	ClusterConfig = cluster.Config
+	// ClusterResult is a simulated end-to-end execution.
+	ClusterResult = cluster.Result
+	// SchedulerPolicy decides task placement.
+	SchedulerPolicy = cluster.Policy
+	// MemoConfig configures the memoization layer.
+	MemoConfig = memo.Config
+	// MemoStore is the fault-tolerant memoization layer.
+	MemoStore = memo.Store
+)
+
+// Scheduling policies (§6, Table 1).
+var (
+	// BaselinePolicy mimics stock Hadoop scheduling.
+	BaselinePolicy SchedulerPolicy = scheduler.Baseline{}
+	// MemoAwarePolicy places tasks with their memoized state.
+	MemoAwarePolicy SchedulerPolicy = scheduler.MemoAware{}
+	// HybridPolicy is memoization-aware with straggler mitigation.
+	HybridPolicy SchedulerPolicy = scheduler.Hybrid{}
+)
+
+// NewRecorder returns an empty work recorder.
+func NewRecorder() *Recorder { return metrics.NewRecorder() }
+
+// DefaultClusterConfig mirrors the paper's 24-worker testbed.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// DefaultMemoConfig returns the default memoization configuration.
+func DefaultMemoConfig() MemoConfig { return memo.DefaultConfig() }
+
+// Simulate computes the end-to-end running time of a run's recorded tasks
+// on the simulated cluster under the given policy.
+func Simulate(cfg ClusterConfig, report Report, policy SchedulerPolicy) ClusterResult {
+	return cluster.NewSimulator(cfg).Run(report.Tasks, policy)
+}
+
+// Query processing (§5; see internal/pig).
+type (
+	// QueryScript is a parsed Pig-lite script.
+	QueryScript = pig.Script
+	// QueryPlan is a compiled pipeline of MapReduce stages.
+	QueryPlan = pig.Plan
+	// QueryTable is a static side relation for replicated joins.
+	QueryTable = pig.Table
+	// Row is one query tuple.
+	Row = pig.Row
+	// RowSchema names a relation's columns.
+	RowSchema = pig.Schema
+	// Pipeline executes a plan incrementally over a sliding window.
+	Pipeline = pig.Pipeline
+	// PipelineConfig configures incremental query execution.
+	PipelineConfig = pig.PipelineConfig
+	// PipelineResult is the outcome of one pipeline run.
+	PipelineResult = pig.PipelineResult
+)
+
+// Distributed map execution (see internal/dist): worker processes serve
+// map tasks over TCP; a client pool plugs into Config.MapRunner with
+// automatic re-execution of tasks from failed workers.
+type (
+	// Worker serves map tasks for registered jobs over TCP.
+	Worker = dist.Worker
+	// WorkerPool dispatches map tasks across workers and implements
+	// the Config.MapRunner hook.
+	WorkerPool = dist.Pool
+	// JobRegistry maps job names to factories on both sides of the
+	// wire.
+	JobRegistry = dist.Registry
+)
+
+// RegisterJob binds a job factory to a name in the process-wide registry
+// (jobs travel by name: both driver and workers must register the same
+// factory under the same name).
+func RegisterJob(name string, factory func() *Job) error {
+	return dist.RegisterJob(name, factory)
+}
+
+// NewWorker starts a map-task worker listening on addr ("host:0" picks
+// an ephemeral port). A nil registry uses the process-wide one.
+func NewWorker(name, addr string, registry *JobRegistry) (*Worker, error) {
+	return dist.NewWorker(name, addr, registry)
+}
+
+// NewWorkerPool connects to worker addresses for the named job; assign
+// the result to Config.MapRunner to run the map phase remotely.
+func NewWorkerPool(jobName string, addrs []string) (*WorkerPool, error) {
+	return dist.NewPool(jobName, addrs)
+}
+
+// Streaming drivers (see internal/stream): push records, get windowed
+// outputs.
+type (
+	// CountWindowConfig configures a count-based sliding window driver.
+	CountWindowConfig = stream.CountConfig
+	// CountWindow forms splits from pushed records and slides a
+	// fixed-length window automatically.
+	CountWindow = stream.CountWindow
+	// TimeWindowConfig configures a time-based sliding window driver.
+	TimeWindowConfig = stream.TimeConfig
+	// TimeWindow slides a fixed-duration window over timestamped
+	// records (data volume per period may vary).
+	TimeWindow = stream.TimeWindow
+	// TimedRecord is one timestamped record for a TimeWindow.
+	TimedRecord = stream.TimedRecord
+	// WindowOutput delivers one run's results to a window sink.
+	WindowOutput = stream.Output
+	// WindowSink consumes window outputs.
+	WindowSink = stream.Sink
+)
+
+// NewCountWindow returns a count-based streaming driver.
+func NewCountWindow(cfg CountWindowConfig, sink WindowSink) (*CountWindow, error) {
+	return stream.NewCountWindow(cfg, sink)
+}
+
+// NewTimeWindow returns a time-based streaming driver.
+func NewTimeWindow(cfg TimeWindowConfig, sink WindowSink) (*TimeWindow, error) {
+	return stream.NewTimeWindow(cfg, sink)
+}
+
+// ParseQuery parses a Pig-lite script.
+func ParseQuery(src string) (*QueryScript, error) { return pig.Parse(src) }
+
+// CompileQuery compiles a script into a pipeline of MapReduce stages.
+func CompileQuery(script *QueryScript, tables map[string]*QueryTable, partitions int) (*QueryPlan, error) {
+	return pig.Compile(script, tables, partitions)
+}
+
+// NewPipeline prepares incremental execution of a compiled plan.
+func NewPipeline(plan *QueryPlan, cfg PipelineConfig) (*Pipeline, error) {
+	return pig.NewPipeline(plan, cfg)
+}
+
+// RunQueryScratch executes a plan non-incrementally over a window.
+func RunQueryScratch(plan *QueryPlan, window []Split, rec *Recorder) ([]Row, RowSchema, error) {
+	return pig.RunScratch(plan, window, rec)
+}
