@@ -33,7 +33,11 @@ type FoldingTree[T any] struct {
 	// count exceeds rebuildFactor × live leaves (§3.2's "initial run"
 	// rebalancing fallback for rare drastic shrinks).
 	rebuildFactor int
-	stats         Stats
+	// par bounds the worker pool recomputing one frontier level; 1 runs
+	// sequentially. Nodes within a level have disjoint children, so
+	// their combines are independent.
+	par   int
+	stats Stats
 }
 
 // FoldingOption customizes a FoldingTree.
@@ -46,15 +50,26 @@ func WithRebuildFactor[T any](factor int) FoldingOption[T] {
 	return func(t *FoldingTree[T]) { t.rebuildFactor = factor }
 }
 
+// WithParallelism sets the number of workers recomputing each frontier
+// level during propagation (1 = sequential). The merge function must be
+// pure and alias-free to run with par > 1.
+func WithParallelism[T any](par int) FoldingOption[T] {
+	return func(t *FoldingTree[T]) { t.par = normalizeParallelism(par) }
+}
+
 // NewFolding returns an empty folding tree using merge to combine
 // payloads.
 func NewFolding[T any](merge MergeFunc[T], opts ...FoldingOption[T]) *FoldingTree[T] {
-	t := &FoldingTree[T]{merge: merge, rebuildFactor: 8}
+	t := &FoldingTree[T]{merge: merge, rebuildFactor: 8, par: 1}
 	for _, opt := range opts {
 		opt(t)
 	}
 	return t
 }
+
+// SetParallelism bounds the worker pool used for level-by-level
+// recomputation (1 = sequential). Safe to change between operations.
+func (t *FoldingTree[T]) SetParallelism(par int) { t.par = normalizeParallelism(par) }
 
 // Init performs the initial run (§3): it constructs a complete binary tree
 // of height ⌈log2 M⌉ over the given payloads, padding with void leaves.
@@ -96,21 +111,39 @@ func buildComplete[T any](height int) (*fnode[T], []*fnode[T]) {
 	return build(height), leaves
 }
 
-// computeAll recomputes every internal node below n (post-order), as in an
-// initial run.
+// computeAll recomputes every internal node below n, as in an initial
+// run: level by level from the deepest internal nodes upward, each level
+// over the worker pool (a level's nodes have disjoint children).
 func (t *FoldingTree[T]) computeAll(n *fnode[T]) {
 	if n == nil || n.leaf {
 		return
 	}
-	t.computeAll(n.left)
-	t.computeAll(n.right)
-	t.recomputeNode(n)
+	var levels [][]*fnode[T]
+	cur := []*fnode[T]{n}
+	for len(cur) > 0 {
+		var next []*fnode[T]
+		for _, m := range cur {
+			if !m.left.leaf {
+				next = append(next, m.left, m.right)
+			}
+		}
+		levels = append(levels, cur)
+		cur = next
+	}
+	for d := len(levels) - 1; d >= 0; d-- {
+		lvl := levels[d]
+		parallelFor(t.par, len(lvl), &t.stats, func(i int, shard *Stats) {
+			t.recomputeNode(lvl[i], shard)
+		})
+	}
 }
 
-// recomputeNode recombines an internal node from its children. A node
-// with a single live child passes that child's payload through without a
+// recomputeNode recombines an internal node from its children, counting
+// work into st (a per-worker shard under parallel recomputation — the
+// tree's own counters must never be mutated concurrently). A node with a
+// single live child passes that child's payload through without a
 // combiner call.
-func (t *FoldingTree[T]) recomputeNode(n *fnode[T]) {
+func (t *FoldingTree[T]) recomputeNode(n *fnode[T], st *Stats) {
 	l, r := n.left, n.right
 	switch {
 	case l.void && r.void:
@@ -126,9 +159,9 @@ func (t *FoldingTree[T]) recomputeNode(n *fnode[T]) {
 	default:
 		n.payload = t.merge(l.payload, r.payload)
 		n.void = false
-		t.stats.Merges++
+		st.Merges++
 	}
-	t.stats.NodesRecomputed++
+	st.NodesRecomputed++
 }
 
 // Slide moves the window: the oldest drop leaves are removed and the add
@@ -216,25 +249,37 @@ func (t *FoldingTree[T]) unfold() {
 }
 
 // propagate recomputes the internal nodes on all leaf→root paths of the
-// dirty leaves, level by level (children before parents). Leaves whose
-// subtree was discarded by folding no longer reach the root and are
-// skipped.
+// dirty leaves, level by level (children before parents). All leaves sit
+// at the same depth of the complete tree, so each frontier holds nodes
+// of a single level with pairwise-disjoint children — the level's
+// combines run concurrently over the worker pool. Leaves whose subtree
+// was discarded by folding no longer reach the root and are skipped.
 func (t *FoldingTree[T]) propagate(dirty map[*fnode[T]]struct{}) {
-	frontier := make(map[*fnode[T]]struct{})
+	var frontier []*fnode[T]
+	seen := make(map[*fnode[T]]struct{}, len(dirty))
 	for leaf := range dirty {
 		if !t.reachesRoot(leaf) {
 			continue
 		}
-		if leaf.parent != nil {
-			frontier[leaf.parent] = struct{}{}
+		if p := leaf.parent; p != nil {
+			if _, ok := seen[p]; !ok {
+				seen[p] = struct{}{}
+				frontier = append(frontier, p)
+			}
 		}
 	}
 	for len(frontier) > 0 {
-		next := make(map[*fnode[T]]struct{})
-		for n := range frontier {
-			t.recomputeNode(n)
-			if n.parent != nil {
-				next[n.parent] = struct{}{}
+		parallelFor(t.par, len(frontier), &t.stats, func(i int, shard *Stats) {
+			t.recomputeNode(frontier[i], shard)
+		})
+		next := frontier[:0:0]
+		nextSeen := make(map[*fnode[T]]struct{}, len(frontier))
+		for _, n := range frontier {
+			if p := n.parent; p != nil {
+				if _, ok := nextSeen[p]; !ok {
+					nextSeen[p] = struct{}{}
+					next = append(next, p)
+				}
 			}
 		}
 		frontier = next

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel contraction engine: level-by-level
+// recomputation of dirty tree regions over a bounded worker pool.
+//
+// Every contraction tree recomputes nodes in frontier levels whose
+// members have pairwise-disjoint children, so the combines of one level
+// are independent and can run concurrently — the same DAG-parallelism
+// that SWAG-style sliding-window aggregators exploit. Correctness
+// requires the merge function to be pure and alias-free: it must not
+// mutate its arguments and must return a payload that shares no mutable
+// state with them (mapreduce.MergeOrdered guarantees this for the
+// runtime's payloads, and mapreduce.CheckJob verifies a job's combiner).
+//
+// Work counters are never shared between workers: each worker owns a
+// private Stats shard, merged into the tree's totals after the pool
+// drains, so the engine is race-free even under `go test -race`.
+
+// parallelFor runs fn(i, shard) for every i in [0, n), spread over at
+// most par workers pulling indices from a shared atomic cursor (work
+// stealing, since merge costs are data-dependent and uneven). Each
+// worker gets its own Stats shard; shards are merged into total once all
+// workers finish. par ≤ 1 (or a single item) degrades to a plain inline
+// loop writing total directly, preserving the exact sequential behavior.
+func parallelFor(par, n int, total *Stats, fn func(i int, shard *Stats)) {
+	if n <= 0 {
+		return
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, total)
+		}
+		return
+	}
+	shards := make([]Stats, par)
+	var cursor int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&cursor, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, &shards[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range shards {
+		total.add(shards[i])
+	}
+}
+
+// reduceOrdered folds items into a single payload, preserving
+// left-to-right order. With par ≤ 1 it is a plain left fold; otherwise
+// it combines adjacent pairs in parallel rounds (a balanced reduction),
+// which yields the same result for any associative merge and performs
+// exactly len(items)−1 merge calls either way. Merge counts accumulate
+// into total via per-worker shards.
+func reduceOrdered[T any](par int, merge MergeFunc[T], items []T, total *Stats) (T, bool) {
+	switch len(items) {
+	case 0:
+		var zero T
+		return zero, false
+	case 1:
+		return items[0], true
+	}
+	if par <= 1 {
+		acc := items[0]
+		for _, it := range items[1:] {
+			acc = merge(acc, it)
+			total.Merges++
+		}
+		return acc, true
+	}
+	buf := append([]T(nil), items...)
+	for len(buf) > 1 {
+		pairs := len(buf) / 2
+		out := make([]T, (len(buf)+1)/2)
+		parallelFor(par, pairs, total, func(i int, shard *Stats) {
+			out[i] = merge(buf[2*i], buf[2*i+1])
+			shard.Merges++
+		})
+		if len(buf)%2 == 1 {
+			out[len(out)-1] = buf[len(buf)-1]
+		}
+		buf = out
+	}
+	return buf[0], true
+}
+
+// ReduceOrdered combines items left-to-right into one payload using
+// merge, pairing adjacent elements in parallel rounds of at most par
+// workers (par ≤ 1 folds sequentially). The merge must be associative —
+// window order is preserved, but association is not — and must be pure
+// and alias-free when par > 1. It reports false for an empty slice.
+func ReduceOrdered[T any](par int, merge MergeFunc[T], items []T) (T, bool) {
+	var st Stats
+	return reduceOrdered(par, merge, items, &st)
+}
+
+// normalizeParallelism clamps a parallelism knob to ≥ 1.
+func normalizeParallelism(par int) int {
+	if par < 1 {
+		return 1
+	}
+	return par
+}

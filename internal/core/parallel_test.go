@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestParallelForShardsAndOrder checks the worker pool visits every index
+// exactly once and merges per-worker stats into the total.
+func TestParallelForShardsAndOrder(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		hits := make([]int32, n)
+		var total Stats
+		parallelFor(par, n, &total, func(i int, shard *Stats) {
+			hits[i]++
+			shard.Merges++
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("par=%d: index %d visited %d times", par, i, h)
+			}
+		}
+		if total.Merges != n {
+			t.Fatalf("par=%d: merged stats = %d, want %d", par, total.Merges, n)
+		}
+	}
+}
+
+// TestReduceOrderedMatchesSequential checks the balanced parallel
+// reduction returns the sequential left fold's result (associative
+// merge) with the same merge count, for every length and parallelism.
+func TestReduceOrderedMatchesSequential(t *testing.T) {
+	for n := 0; n <= 33; n++ {
+		items := make([][]int, n)
+		for i := range items {
+			items[i] = []int{i}
+		}
+		var seqStats Stats
+		want, wantOK := reduceOrdered(1, multiset, items, &seqStats)
+		for _, par := range []int{2, 3, 8} {
+			var parStats Stats
+			got, ok := reduceOrdered(par, multiset, items, &parStats)
+			if ok != wantOK || !reflect.DeepEqual(sorted(got), sorted(want)) {
+				t.Fatalf("n=%d par=%d: result diverges", n, par)
+			}
+			if parStats.Merges != seqStats.Merges {
+				t.Fatalf("n=%d par=%d: merges %d, want %d", n, par, parStats.Merges, seqStats.Merges)
+			}
+		}
+	}
+}
+
+func sorted(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	return out
+}
+
+// runSchedule drives one randomized variable-width slide schedule through
+// every tree type at the given parallelism and returns each root. The
+// schedule depends only on the seed, so two calls with different
+// parallelism see identical inputs.
+func runSchedule(t *testing.T, seed int64, par int) map[string][]int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(28)
+
+	fold := NewFolding(multiset, WithParallelism[[]int](par))
+	fold.Init(seqPayloads(0, n))
+	rnd := NewRandomizedFolding(multiset, uint64(seed)+17)
+	rnd.SetParallelism(par)
+	rnd.Init(seqItems(0, n))
+	straw := NewStrawman(multiset)
+	straw.SetParallelism(par)
+	straw.Build(seqItems(0, n))
+	rot := NewRotating(multiset, n)
+	rot.SetParallelism(par)
+	if err := rot.Init(seqPayloads(0, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rot.PrepareBackground(); err != nil {
+		t.Fatal(err)
+	}
+
+	lo, hi := 0, n
+	for step := 0; step < 12; step++ {
+		drop := rng.Intn(hi - lo)
+		grow := 1 + rng.Intn(6)
+		if err := fold.Slide(drop, seqPayloads(hi, hi+grow)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rnd.Slide(drop, seqItems(hi, hi+grow)); err != nil {
+			t.Fatal(err)
+		}
+		lo += drop
+		hi += grow
+		straw.Build(seqItems(lo, hi))
+		// The rotating tree needs fixed-width slides; feed it its own
+		// single-bucket rotation per step (plus split-mode halves).
+		if _, err := rot.RotateForeground(seqPayloads(hi, hi+1)[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := rot.Background(seqPayloads(hi, hi+1)[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	roots := make(map[string][]int)
+	for name, get := range map[string]func() ([]int, bool){
+		"folding":    fold.Root,
+		"randomized": rnd.Root,
+		"strawman":   straw.Root,
+		"rotating":   rot.Root,
+	} {
+		root, ok := get()
+		if !ok {
+			t.Fatalf("%s: no root after schedule (seed %d)", name, seed)
+		}
+		roots[name] = sorted(root)
+	}
+	return roots
+}
+
+// TestParallelSequentialEquivalence is the property check of the parallel
+// contraction engine: for random slide schedules, every tree's root under
+// parallel recomputation is identical to the sequential root. Run with
+// `go test -race` this also exercises the engine for data races.
+func TestParallelSequentialEquivalence(t *testing.T) {
+	property := func(seed int64) bool {
+		seq := runSchedule(t, seed, 1)
+		for _, par := range []int{2, 4} {
+			par1 := runSchedule(t, seed, par)
+			for name, want := range seq {
+				if !reflect.DeepEqual(par1[name], want) {
+					t.Logf("seed %d par %d: %s root diverges", seed, par, name)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelStatsMatchSequential pins the engine's work accounting:
+// per-worker shards must merge to exactly the sequential counters (the
+// recomputed node set does not depend on the worker count).
+func TestParallelStatsMatchSequential(t *testing.T) {
+	build := func(par int) (Stats, Stats, Stats) {
+		fold := NewFolding(multiset, WithParallelism[[]int](par))
+		fold.Init(seqPayloads(0, 100))
+		if err := fold.Slide(30, seqPayloads(100, 140)); err != nil {
+			t.Fatal(err)
+		}
+		straw := NewStrawman(multiset)
+		straw.SetParallelism(par)
+		straw.Build(seqItems(0, 100))
+		straw.Build(seqItems(5, 105))
+		rnd := NewRandomizedFolding(multiset, 42)
+		rnd.SetParallelism(par)
+		rnd.Init(seqItems(0, 100))
+		if err := rnd.Slide(10, seqItems(100, 120)); err != nil {
+			t.Fatal(err)
+		}
+		return fold.Stats(), straw.Stats(), rnd.Stats()
+	}
+	f1, s1, r1 := build(1)
+	f4, s4, r4 := build(4)
+	if f1 != f4 {
+		t.Fatalf("folding stats diverge: seq %+v par %+v", f1, f4)
+	}
+	if s1 != s4 {
+		t.Fatalf("strawman stats diverge: seq %+v par %+v", s1, s4)
+	}
+	if r1 != r4 {
+		t.Fatalf("randomized stats diverge: seq %+v par %+v", r1, r4)
+	}
+}
+
+// TestRotatingParallelInitAndPrepare pins the rotating tree's parallel
+// paths: Init's level build and PrepareBackground's balanced pre-combine
+// agree with the sequential tree on payload and merge counts.
+func TestRotatingParallelInitAndPrepare(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 33} {
+		seq := NewRotating(multiset, n)
+		par := NewRotating(multiset, n)
+		par.SetParallelism(4)
+		if err := seq.Init(seqPayloads(0, n)); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Init(seqPayloads(0, n)); err != nil {
+			t.Fatal(err)
+		}
+		sr, _ := seq.Root()
+		pr, _ := par.Root()
+		if !reflect.DeepEqual(sorted(sr), sorted(pr)) {
+			t.Fatalf("n=%d: parallel Init root diverges", n)
+		}
+		if seq.Stats() != par.Stats() {
+			t.Fatalf("n=%d: Init stats diverge: %+v vs %+v", n, seq.Stats(), par.Stats())
+		}
+		if err := seq.PrepareBackground(); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.PrepareBackground(); err != nil {
+			t.Fatal(err)
+		}
+		if seq.Stats().Merges != par.Stats().Merges {
+			t.Fatalf("n=%d: PrepareBackground merges diverge", n)
+		}
+		sf, err := seq.RotateForeground(seqPayloads(n, n+1)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := par.RotateForeground(seqPayloads(n, n+1)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sorted(sf), sorted(pf)) {
+			t.Fatalf("n=%d: foreground result diverges", n)
+		}
+	}
+}

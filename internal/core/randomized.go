@@ -27,6 +27,7 @@ type RandomizedFoldingTree[T any] struct {
 	rootP  T
 	hasP   bool
 	height int
+	par    int // worker pool bound for per-level group combines
 	stats  Stats
 }
 
@@ -47,8 +48,17 @@ func NewRandomizedFolding[T any](merge MergeFunc[T], seed uint64) *RandomizedFol
 		merge: merge,
 		seed:  seed,
 		memo:  make(map[uint64]T),
+		par:   1,
 	}
 }
+
+// SetParallelism bounds the worker pool combining one level's groups
+// concurrently (1 = sequential). Groups of a level cover disjoint node
+// ranges and only read the previous build's memo table, so their
+// combines are independent; the merge must be pure and alias-free to
+// run with par > 1. The structure and payloads are identical at any
+// parallelism.
+func (t *RandomizedFoldingTree[T]) SetParallelism(par int) { t.par = normalizeParallelism(par) }
 
 // Init performs the initial run over the given leaves.
 func (t *RandomizedFoldingTree[T]) Init(items []Item[T]) {
@@ -112,7 +122,9 @@ func (t *RandomizedFoldingTree[T]) build() {
 		if len(next) == len(cur) {
 			// Pathological all-heads level: force a single group so
 			// the construction terminates.
-			next = []rnode[T]{t.makeGroup(cur, height, nextMemo)}
+			forced := t.makeGroup(cur, height, &t.stats)
+			nextMemo[forced.sig] = forced.payload
+			next = []rnode[T]{forced}
 		}
 		cur = next
 		height++
@@ -123,25 +135,39 @@ func (t *RandomizedFoldingTree[T]) build() {
 }
 
 // buildLevel groups the nodes of one level into the nodes of the next.
+// The boundary scan is cheap integer hashing and runs sequentially; the
+// groups it yields cover disjoint slices of cur and read only the
+// previous build's (frozen) memo table, so their combines run
+// concurrently over the worker pool. Memo inserts happen afterwards on
+// one goroutine.
 func (t *RandomizedFoldingTree[T]) buildLevel(cur []rnode[T], level int, memo map[uint64]T) []rnode[T] {
-	next := make([]rnode[T], 0, (len(cur)+1)/2)
-	groupStart := 0
-	for i := 1; i <= len(cur); i++ {
-		if i == len(cur) || t.boundary(cur[i].id, level) {
-			next = append(next, t.makeGroup(cur[groupStart:i], level, memo))
-			groupStart = i
+	bounds := make([]int, 1, (len(cur)+1)/2+1)
+	bounds[0] = 0
+	for i := 1; i < len(cur); i++ {
+		if t.boundary(cur[i].id, level) {
+			bounds = append(bounds, i)
 		}
+	}
+	bounds = append(bounds, len(cur))
+	next := make([]rnode[T], len(bounds)-1)
+	parallelFor(t.par, len(next), &t.stats, func(i int, shard *Stats) {
+		next[i] = t.makeGroup(cur[bounds[i]:bounds[i+1]], level, shard)
+	})
+	for _, n := range next {
+		// Singleton groups keep their signature so higher levels can
+		// still reuse them; combined groups memoize the fresh payload.
+		memo[n.sig] = n.payload
 	}
 	return next
 }
 
 // makeGroup builds one next-level node from a group of nodes, reusing the
-// memoized payload when the group's child signature is unchanged.
-func (t *RandomizedFoldingTree[T]) makeGroup(group []rnode[T], level int, memo map[uint64]T) rnode[T] {
+// prior build's memoized payload when the group's child signature is
+// unchanged. It reads only frozen state (the group slice and t.memo) and
+// counts work into st, so a level's groups may be built concurrently.
+func (t *RandomizedFoldingTree[T]) makeGroup(group []rnode[T], level int, st *Stats) rnode[T] {
 	if len(group) == 1 {
-		// Singleton groups pass through without a combine and keep
-		// their signature, so higher levels can still reuse them.
-		memo[group[0].sig] = group[0].payload
+		// Singleton groups pass through without a combine.
 		return group[0]
 	}
 	sig := splitmix64(uint64(level) ^ 0x51ed270b)
@@ -151,17 +177,16 @@ func (t *RandomizedFoldingTree[T]) makeGroup(group []rnode[T], level int, memo m
 	node := rnode[T]{id: group[0].id, sig: sig}
 	if payload, ok := t.memo[sig]; ok {
 		node.payload = payload
-		t.stats.NodesReused++
+		st.NodesReused++
 	} else {
 		payload := group[0].payload
 		for _, g := range group[1:] {
 			payload = t.merge(payload, g.payload)
-			t.stats.Merges++
+			st.Merges++
 		}
 		node.payload = payload
-		t.stats.NodesRecomputed++
+		st.NodesRecomputed++
 	}
-	memo[sig] = node.payload
 	return node
 }
 

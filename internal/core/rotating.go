@@ -27,6 +27,7 @@ type RotatingTree[T any] struct {
 	pre    T    // pre-combined siblings along victim's root path
 	preOK  bool // PrepareBackground has run for the current victim
 	preHas bool // pre holds a payload (false only for N == 1)
+	par    int  // worker pool bound for level-parallel recomputation
 	stats  Stats
 }
 
@@ -48,8 +49,15 @@ func NewRotating[T any](merge MergeFunc[T], n int) *RotatingTree[T] {
 		height: ceilLog2(pad),
 		nodes:  make([]rtnode[T], 2*pad-1),
 		victim: 0,
+		par:    1,
 	}
 }
+
+// SetParallelism bounds the worker pool used by Init's level-by-level
+// build and PrepareBackground's balanced pre-combine (1 = sequential).
+// The merge must be pure and alias-free to run with par > 1; rotating
+// trees already require it to be associative and commutative.
+func (t *RotatingTree[T]) SetParallelism(par int) { t.par = normalizeParallelism(par) }
 
 // Init performs the initial run: it installs the first full window of
 // buckets (len(buckets) must equal N) and builds the balanced tree with
@@ -66,8 +74,15 @@ func (t *RotatingTree[T]) Init(buckets []T) error {
 		leaf := t.leafIndex(i)
 		t.nodes[leaf] = rtnode[T]{payload: b}
 	}
-	for i := len(t.nodes)/2 - 1; i >= 0; i-- {
-		t.recomputeNode(i)
+	// Build level by level from the deepest internal row upward; the
+	// heap nodes of one level [2^d−1, 2^{d+1}−2] have disjoint children,
+	// so each level recomputes concurrently over the worker pool.
+	for d := t.height - 1; d >= 0; d-- {
+		first := (1 << d) - 1
+		width := 1 << d
+		parallelFor(t.par, width, &t.stats, func(i int, shard *Stats) {
+			t.recomputeNode(first+i, shard)
+		})
 	}
 	t.victim = 0
 	t.filled = true
@@ -78,8 +93,9 @@ func (t *RotatingTree[T]) Init(buckets []T) error {
 // leafIndex maps a bucket position to its heap index.
 func (t *RotatingTree[T]) leafIndex(pos int) int { return t.pad - 1 + pos }
 
-// recomputeNode recombines heap node i from its children.
-func (t *RotatingTree[T]) recomputeNode(i int) {
+// recomputeNode recombines heap node i from its children, counting work
+// into st (a per-worker shard under parallel recomputation).
+func (t *RotatingTree[T]) recomputeNode(i int, st *Stats) {
 	l, r := 2*i+1, 2*i+2
 	ln, rn := t.nodes[l], t.nodes[r]
 	switch {
@@ -92,9 +108,9 @@ func (t *RotatingTree[T]) recomputeNode(i int) {
 		t.nodes[i] = rtnode[T]{payload: ln.payload}
 	default:
 		t.nodes[i] = rtnode[T]{payload: t.merge(ln.payload, rn.payload)}
-		t.stats.Merges++
+		st.Merges++
 	}
-	t.stats.NodesRecomputed++
+	st.NodesRecomputed++
 }
 
 // Rotate replaces the oldest bucket with b and updates the root path
@@ -105,9 +121,10 @@ func (t *RotatingTree[T]) Rotate(b T) error {
 	}
 	i := t.leafIndex(t.victim)
 	t.nodes[i] = rtnode[T]{payload: b}
+	// The root path has one node per level — inherently sequential.
 	for i > 0 {
 		i = (i - 1) / 2
-		t.recomputeNode(i)
+		t.recomputeNode(i, &t.stats)
 	}
 	t.victim = (t.victim + 1) % t.n
 	t.preOK = false
@@ -123,27 +140,22 @@ func (t *RotatingTree[T]) PrepareBackground() error {
 		return ErrWindowNotFull
 	}
 	i := t.leafIndex(t.victim)
-	var acc T
-	var has bool
+	sibs := make([]T, 0, t.height)
 	for i > 0 {
 		sib := i - 1
 		if i%2 == 1 { // i is a left child; sibling is to the right
 			sib = i + 1
 		}
 		if !t.nodes[sib].void {
-			if has {
-				acc = t.merge(acc, t.nodes[sib].payload)
-				t.stats.Merges++
-			} else {
-				acc = t.nodes[sib].payload
-				has = true
-			}
+			sibs = append(sibs, t.nodes[sib].payload)
 		}
 		i = (i - 1) / 2
 	}
-	t.pre = acc
+	// Pre-combine the collected siblings; the balanced parallel
+	// reduction re-associates, which the required associative +
+	// commutative merge permits, with the same merge count.
+	t.pre, t.preHas = reduceOrdered(t.par, t.merge, sibs, &t.stats)
 	t.preOK = true
-	t.preHas = has
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 )
 
 // Contract violations reported by CheckJob.
@@ -17,14 +18,21 @@ var (
 	// payloads are shared between contraction-tree nodes across runs,
 	// so mutation corrupts memoized state.
 	ErrMutatesInput = errors.New("mapreduce: combiner mutates its inputs")
+	// ErrAliasesInput means Combine returned a value sharing mutable
+	// state (the same map, slice, or pointer) with one of its inputs.
+	// The parallel contraction engine may combine a payload in two
+	// concurrent merges; an aliased result turns later non-mutating use
+	// into a data race and corrupts memoized state.
+	ErrAliasesInput = errors.New("mapreduce: combiner returns a value aliasing an input")
 )
 
 // CheckJob property-tests a job's combiner contract against real sample
 // data: it maps the sample splits and then checks, on every key with at
 // least three values, that Combine is associative, commutative (when the
-// job declares it), and does not mutate its inputs. Values are compared
-// by Fingerprint with a relative tolerance for floats (contraction trees
-// re-associate float arithmetic by design).
+// job declares it), does not mutate its inputs, and does not return a
+// value aliasing an input. Values are compared by Fingerprint with a
+// relative tolerance for floats (contraction trees re-associate float
+// arithmetic by design).
 //
 // Run it once in a test against representative inputs before trusting a
 // new job to the incremental runtime:
@@ -65,6 +73,11 @@ func CheckJob(job *Job, samples []Split) error {
 			return fmt.Errorf("%w (key %q)", ErrMutatesInput, key)
 		}
 
+		// Alias-freedom: the result must not share storage with an input.
+		if aliases(ab, a) || aliases(ab, b) {
+			return fmt.Errorf("%w (key %q)", ErrAliasesInput, key)
+		}
+
 		// Associativity: (a⊕b)⊕c == a⊕(b⊕c).
 		left := job.Combine(key, []Value{ab, c})
 		right := job.Combine(key, []Value{a, job.Combine(key, []Value{b, c})})
@@ -84,6 +97,27 @@ func CheckJob(job *Job, samples []Split) error {
 		return fmt.Errorf("mapreduce: samples produced no key with ≥3 values; provide more data")
 	}
 	return nil
+}
+
+// aliases reports whether two values share mutable storage: the same
+// map, the same pointer, or slices over the same backing array. Scalar
+// kinds (numbers, strings, booleans) are copied by value and can never
+// alias.
+func aliases(out, in Value) bool {
+	ov, iv := reflect.ValueOf(out), reflect.ValueOf(in)
+	if !ov.IsValid() || !iv.IsValid() || ov.Kind() != iv.Kind() {
+		return false
+	}
+	switch ov.Kind() {
+	case reflect.Map, reflect.Pointer, reflect.Chan, reflect.UnsafePointer:
+		return ov.Pointer() == iv.Pointer()
+	case reflect.Slice:
+		// Same backing array (element 0 address) counts as aliasing even
+		// if lengths differ; empty slices share no storage.
+		return ov.Len() > 0 && iv.Len() > 0 && ov.Pointer() == iv.Pointer()
+	default:
+		return false
+	}
 }
 
 // pickDistinct selects three values preferring pairwise-distinct ones

@@ -119,3 +119,24 @@ func TestCheckJobNeedsData(t *testing.T) {
 		t.Fatal("insufficient-values check passed")
 	}
 }
+
+func TestCheckJobDetectsAliasing(t *testing.T) {
+	job := &Job{
+		Name: "aliaser",
+		Map: func(rec Record, emit Emit) error {
+			for i := range strings.Fields(rec.(string)) {
+				emit("k", []int64{int64(i)})
+			}
+			return nil
+		},
+		Combine: func(_ string, values []Value) Value {
+			// Returns its first argument unchanged — pure, but the result
+			// aliases the input, which the parallel engine forbids.
+			return values[0]
+		},
+		Reduce: func(_ string, values []Value) Value { return values[0] },
+	}
+	if err := CheckJob(job, checkSamples()); !errors.Is(err, ErrAliasesInput) {
+		t.Fatalf("err = %v, want ErrAliasesInput", err)
+	}
+}

@@ -121,6 +121,50 @@ func TestMergeOrderedEmptySides(t *testing.T) {
 	}
 }
 
+// TestMergeOrderedNeverAliasesInputs is the regression test for the
+// empty-side fast path returning a caller-owned map by reference: a
+// memoized tree node holding such a result would be corrupted by any
+// later mutation of the merge output (and is a data race under the
+// parallel contraction engine). The merged result must be mutable
+// without affecting either input, on every input shape.
+func TestMergeOrderedNeverAliasesInputs(t *testing.T) {
+	job := sumJob(1)
+	cases := []struct {
+		name        string
+		left, right Payload
+	}{
+		{"empty-left", Payload{}, Payload{"a": int64(1)}},
+		{"empty-right", Payload{"a": int64(1)}, Payload{}},
+		{"nil-left", nil, Payload{"a": int64(1)}},
+		{"both-live", Payload{"a": int64(1)}, Payload{"b": int64(2)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			leftFP := FingerprintPayload(tc.left)
+			rightFP := FingerprintPayload(tc.right)
+			out, _ := MergeOrdered(job, tc.left, tc.right)
+			out["smashed"] = int64(99)
+			delete(out, "a")
+			if FingerprintPayload(tc.left) != leftFP {
+				t.Fatal("mutating the merged result corrupted the left input")
+			}
+			if FingerprintPayload(tc.right) != rightFP {
+				t.Fatal("mutating the merged result corrupted the right input")
+			}
+		})
+	}
+}
+
+func TestClonePayload(t *testing.T) {
+	p := Payload{"a": int64(1), "b": int64(2)}
+	c := ClonePayload(p)
+	c["a"] = int64(7)
+	c["c"] = int64(3)
+	if p["a"] != int64(1) || len(p) != 2 {
+		t.Fatal("ClonePayload shares the underlying map")
+	}
+}
+
 func TestRunMapTaskCombinesPerKey(t *testing.T) {
 	job := sumJob(2)
 	split := Split{ID: "s0", Records: []Record{"a a b", "a c"}}

@@ -12,7 +12,9 @@ import (
 type Payload map[string]Value
 
 // Partition assigns a key to one of n reduce partitions using FNV-1a,
-// mirroring Hadoop's hash partitioner.
+// mirroring Hadoop's hash partitioner. n ≤ 1 (including the zero value
+// of an unconfigured job) short-circuits to partition 0 so the uint32
+// modulo below can never divide by zero.
 func Partition(key string, n int) int {
 	if n <= 1 {
 		return 0
@@ -24,13 +26,16 @@ func Partition(key string, n int) int {
 
 // MergeOrdered combines two payloads preserving left-to-right window
 // order: values from `left` precede values from `right` in combiner
-// argument order. Neither input is mutated.
+// argument order. Neither input is mutated, and the result never aliases
+// either input map: contraction trees memoize merged payloads across runs,
+// so handing back a caller-owned map would let later mutations (or
+// concurrent merges) silently corrupt tree-node state.
 func MergeOrdered(job *Job, left, right Payload) (Payload, int64) {
 	if len(left) == 0 {
-		return right, 0
+		return ClonePayload(right), 0
 	}
 	if len(right) == 0 {
-		return left, 0
+		return ClonePayload(left), 0
 	}
 	out := make(Payload, len(left)+len(right))
 	for k, v := range left {
@@ -46,6 +51,17 @@ func MergeOrdered(job *Job, left, right Payload) (Payload, int64) {
 		}
 	}
 	return out, combines
+}
+
+// ClonePayload returns a shallow copy of p: a fresh map sharing p's
+// values. Values themselves are never mutated by conforming combiners
+// (see CheckJob), so a shallow copy is enough to decouple map ownership.
+func ClonePayload(p Payload) Payload {
+	out := make(Payload, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
 }
 
 // PayloadBytes estimates the in-memory size of a payload, using the job's

@@ -151,9 +151,31 @@ func NewStore(cfg Config) *Store {
 // scheduler uses it to co-locate contraction/reduce tasks with their
 // memoized inputs.
 func (s *Store) HomeNode(key string) int {
+	nodes := s.cfg.Nodes
+	if nodes <= 0 {
+		// A Store built by NewStore always has Nodes ≥ 1 (normalize), but
+		// a zero-value Store must not panic on uint32(0) modulo.
+		nodes = 1
+	}
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(s.cfg.Nodes))
+	return int(h.Sum32() % uint32(nodes))
+}
+
+// replicaNodes returns the persistent-replica placement for a key's home
+// node — the single source of truth shared by Put (placement), Get
+// (lookup), and ChargeRead (bulk accounting), so the locality rules of
+// the read-cost model cannot drift between the indexed and bulk paths.
+func (s *Store) replicaNodes(home int) []int {
+	nodes := s.cfg.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	reps := make([]int, 0, s.cfg.Replicas)
+	for i := 1; i <= s.cfg.Replicas; i++ {
+		reps = append(reps, (home+i)%nodes)
+	}
+	return reps
 }
 
 // Put memoizes value under key and returns the simulated write time (the
@@ -162,10 +184,7 @@ func (s *Store) HomeNode(key string) int {
 // consumed by GC.
 func (s *Store) Put(key string, value any, size int64, lo, hi uint64) int64 {
 	home := s.HomeNode(key)
-	replicas := make([]int, 0, s.cfg.Replicas)
-	for i := 1; i <= s.cfg.Replicas; i++ {
-		replicas = append(replicas, (home+i)%s.cfg.Nodes)
-	}
+	replicas := s.replicaNodes(home)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mem := home
@@ -313,7 +332,11 @@ func (s *Store) RecoverNode(node int) {
 // ChargeRead charges the read-cost model for size bytes of memoized state
 // read by a task on fromNode whose data lives under key's placement,
 // without an index lookup. It is used for bulk accounting of
-// contraction-tree state reads.
+// contraction-tree state reads. Its locality rules mirror Get exactly:
+// an in-memory read is local only on the home node, and a persistent
+// read is local when fromNode holds any live replica — not just the
+// first one — so a read served from the second replica (Replicas ≥ 2)
+// is no longer wrongly charged a network hop.
 func (s *Store) ChargeRead(key string, size int64, fromNode int) {
 	home := s.HomeNode(key)
 	kb := (size + 1023) / 1024
@@ -330,7 +353,14 @@ func (s *Store) ChargeRead(key string, size int64, fromNode int) {
 	}
 	s.misses++
 	cost := s.cfg.DiskReadOverheadNs + kb*s.cfg.DiskReadNsPerKB
-	if fromNode < 0 || (fromNode != (home+1)%s.cfg.Nodes && fromNode != home) {
+	local := false
+	for _, r := range s.replicaNodes(home) {
+		if r == fromNode && !s.down[r] {
+			local = true
+			break
+		}
+	}
+	if !local {
 		cost += kb * s.cfg.NetReadNsPerKB
 	}
 	s.readNs += cost

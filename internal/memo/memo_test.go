@@ -204,3 +204,70 @@ func TestConfigNormalization(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestChargeReadReplicaLocality is the regression test for ChargeRead
+// hardcoding the first replica in its disk-path locality check: with
+// Replicas ≥ 2 a read served from any live replica must be charged local
+// disk cost, exactly as Get charges it.
+func TestChargeReadReplicaLocality(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 8
+	cfg.Replicas = 2
+	cfg.InMemory = false // force the persistent-read path
+	const size = 10240
+	probe := NewStore(cfg)
+	home := probe.HomeNode("part-0")
+	firstReplica := (home + 1) % cfg.Nodes
+	secondReplica := (home + 2) % cfg.Nodes
+	cases := []struct {
+		name     string
+		fromNode int
+		wantNet  bool
+	}{
+		{"first-replica", firstReplica, false},
+		{"second-replica", secondReplica, false},
+		{"home-not-a-replica", home, true},
+		{"unrelated-node", (home + 3) % cfg.Nodes, true},
+		{"no-locality", -1, true},
+	}
+	kb := int64(size / 1024)
+	localCost := cfg.DiskReadOverheadNs + kb*cfg.DiskReadNsPerKB
+	remoteCost := localCost + kb*cfg.NetReadNsPerKB
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewStore(cfg)
+			s.ChargeRead("part-0", size, tc.fromNode)
+			want := localCost
+			if tc.wantNet {
+				want = remoteCost
+			}
+			if got := s.Stats().ReadTimeNs; got != want {
+				t.Fatalf("ChargeRead from node %d cost %d, want %d", tc.fromNode, got, want)
+			}
+			// The bulk path must agree with the indexed Get path.
+			s.ResetReadStats()
+			s.Put("part-0", "v", size, 0, 1)
+			if _, err := s.Get("part-0", tc.fromNode); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Stats().ReadTimeNs; got != want {
+				t.Fatalf("Get from node %d cost %d, ChargeRead charged %d", tc.fromNode, got, want)
+			}
+		})
+	}
+}
+
+// TestZeroValueStoreDoesNotPanic guards HomeNode against a zero divisor:
+// a Store that skipped NewStore's normalization (zero-value Config fields)
+// must not panic on uint32(0) modulo.
+func TestZeroValueStoreDoesNotPanic(t *testing.T) {
+	var s Store
+	if n := s.HomeNode("k"); n != 0 {
+		t.Fatalf("zero-value store home = %d, want 0", n)
+	}
+	ns := NewStore(Config{})
+	if n := ns.HomeNode("k"); n < 0 || n >= 1 {
+		t.Fatalf("normalized zero config home = %d, want 0", n)
+	}
+	ns.ChargeRead("k", 1024, 0) // must not panic either
+}

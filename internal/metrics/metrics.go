@@ -82,6 +82,25 @@ type Counters struct {
 	WriteTime      int64 // simulated ns spent writing memoized state
 }
 
+// Add accumulates delta into c, field by field. It is the single
+// definition of counter addition, shared by Recorder.Add and
+// MergeReports so the two cannot drift when fields are added.
+func (c *Counters) Add(delta Counters) {
+	c.MapTasks += delta.MapTasks
+	c.MapTasksReused += delta.MapTasksReused
+	c.MapRecords += delta.MapRecords
+	c.CombineCalls += delta.CombineCalls
+	c.CombineRecords += delta.CombineRecords
+	c.ReduceCalls += delta.ReduceCalls
+	c.NodesReused += delta.NodesReused
+	c.NodesComputed += delta.NodesComputed
+	c.CacheHits += delta.CacheHits
+	c.CacheMisses += delta.CacheMisses
+	c.MemoBytes += delta.MemoBytes
+	c.ReadTime += delta.ReadTime
+	c.WriteTime += delta.WriteTime
+}
+
 // Recorder accumulates tasks and counters for one job run. The zero value
 // is ready to use. Recorder is safe for concurrent use.
 type Recorder struct {
@@ -113,19 +132,7 @@ func (r *Recorder) RecordTask(t Task) {
 func (r *Recorder) Add(delta Counters) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.counters.MapTasks += delta.MapTasks
-	r.counters.MapTasksReused += delta.MapTasksReused
-	r.counters.MapRecords += delta.MapRecords
-	r.counters.CombineCalls += delta.CombineCalls
-	r.counters.CombineRecords += delta.CombineRecords
-	r.counters.ReduceCalls += delta.ReduceCalls
-	r.counters.NodesReused += delta.NodesReused
-	r.counters.NodesComputed += delta.NodesComputed
-	r.counters.CacheHits += delta.CacheHits
-	r.counters.CacheMisses += delta.CacheMisses
-	r.counters.MemoBytes += delta.MemoBytes
-	r.counters.ReadTime += delta.ReadTime
-	r.counters.WriteTime += delta.WriteTime
+	r.counters.Add(delta)
 }
 
 // Counters returns a snapshot of the accumulated counters.
@@ -195,19 +202,7 @@ func MergeReports(reports ...Report) Report {
 			out.PhaseWork[p] += w
 		}
 		out.Tasks = append(out.Tasks, r.Tasks...)
-		out.Counters.MapTasks += r.Counters.MapTasks
-		out.Counters.MapTasksReused += r.Counters.MapTasksReused
-		out.Counters.MapRecords += r.Counters.MapRecords
-		out.Counters.CombineCalls += r.Counters.CombineCalls
-		out.Counters.CombineRecords += r.Counters.CombineRecords
-		out.Counters.ReduceCalls += r.Counters.ReduceCalls
-		out.Counters.NodesReused += r.Counters.NodesReused
-		out.Counters.NodesComputed += r.Counters.NodesComputed
-		out.Counters.CacheHits += r.Counters.CacheHits
-		out.Counters.CacheMisses += r.Counters.CacheMisses
-		out.Counters.MemoBytes += r.Counters.MemoBytes
-		out.Counters.ReadTime += r.Counters.ReadTime
-		out.Counters.WriteTime += r.Counters.WriteTime
+		out.Counters.Add(r.Counters)
 	}
 	return out
 }

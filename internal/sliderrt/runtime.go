@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slider/internal/core"
@@ -92,28 +93,30 @@ func New(job *mapreduce.Job, cfg Config) (*Runtime, error) {
 }
 
 // mergeFor returns partition p's merge function: it combines two payloads
-// in window order and counts combiner calls into p's own counter.
+// in window order and counts combiner calls into p's own counter. The
+// counter updates are atomic because the parallel contraction engine may
+// run several of one partition's merges concurrently; MergeOrdered is
+// pure and alias-free, so the merges themselves are safe.
 func (rt *Runtime) mergeFor(p int) core.MergeFunc[Payload] {
 	counter := &rt.combines[p]
 	return func(a, b Payload) Payload {
 		out, c := mapreduce.MergeOrdered(rt.job, a, b)
-		*counter += c
+		atomic.AddInt64(counter, c)
 		return out
 	}
 }
 
 // foldPayloads merges payloads left to right into one using partition p's
-// merge function.
+// merge function — the fold-up of newly arrived splits into C′ for
+// coalescing appends and rotating-bucket formation. With intra-tree
+// parallelism available it pairs adjacent payloads in parallel rounds
+// (same result for the associative combiner, same merge count).
 func (rt *Runtime) foldPayloads(p int, ps []Payload) Payload {
 	if len(ps) == 0 {
 		return Payload{}
 	}
-	merge := rt.mergeFor(p)
-	acc := ps[0]
-	for _, payload := range ps[1:] {
-		acc = merge(acc, payload)
-	}
-	return acc
+	out, _ := core.ReduceOrdered(rt.treeParallelism(), rt.mergeFor(p), ps)
+	return out
 }
 
 // partNode returns the machine holding partition p's memoized state.
@@ -159,6 +162,24 @@ func (rt *Runtime) parallelism() int {
 		return rt.cfg.Parallelism
 	}
 	return 0
+}
+
+// treeParallelism splits the Parallelism budget between the two levels
+// of contraction concurrency: forEachPartition runs up to min(par,
+// partitions) partition workers, and each partition's tree gets the
+// remaining budget for its intra-tree (level-by-level) combines, so the
+// total worker count stays bounded by the configured knob. With more
+// partitions than budget the trees run sequentially, exactly as before.
+func (rt *Runtime) treeParallelism() int {
+	par := rt.cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	partWorkers := rt.parts
+	if partWorkers > par {
+		return 1
+	}
+	return par / partWorkers
 }
 
 // Initial performs the initial run over the first window (§3: all input
@@ -233,6 +254,7 @@ func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
 
 	out := rt.reduceAll(rec, roots)
 	statsFg := rt.treeStats()
+	rt.recordTreeCounters(rec, statsDelta(statsBefore, statsFg))
 
 	// Split processing: pave the way for the first incremental run.
 	if rt.cfg.SplitProcessing && rt.cfg.Mode == Fixed && rt.cfg.Engine == SelfAdjusting {
@@ -318,6 +340,7 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 
 	out := rt.reduceAll(rec, roots)
 	statsFg := rt.treeStats()
+	rt.recordTreeCounters(rec, statsDelta(statsBefore, statsFg))
 	rt.runBackground(bg)
 	rt.store.GC(rt.windowLo)
 	if rt.cfg.GCPolicy != nil {
@@ -327,6 +350,15 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 	res.TreeStatsBackground = statsDelta(statsFg, rt.treeStats())
 	res.TreeStats = statsDelta(statsBefore, statsFg)
 	return res, nil
+}
+
+// recordTreeCounters transfers a run's contraction-tree node work into
+// the recorder's counters (previously only available via TreeStats).
+func (rt *Runtime) recordTreeCounters(rec *metrics.Recorder, d core.Stats) {
+	rec.Add(metrics.Counters{
+		NodesComputed: d.NodesRecomputed,
+		NodesReused:   d.NodesReused,
+	})
 }
 
 // statsDelta returns after − before.
@@ -479,8 +511,7 @@ func (rt *Runtime) recordContraction(rec *metrics.Recorder, p int, cost time.Dur
 		InputBytes:    bytes,
 		PreferredNode: rt.partNode(p),
 	})
-	rec.Add(metrics.Counters{CombineCalls: rt.combines[p]})
-	rt.combines[p] = 0
+	rec.Add(metrics.Counters{CombineCalls: atomic.SwapInt64(&rt.combines[p], 0)})
 }
 
 // chargeStateRead charges the shim I/O layer for the memoized state the
@@ -579,15 +610,20 @@ func (rt *Runtime) forEachPartition(fn func(p int) error) error {
 	return nil
 }
 
-// allocTrees instantiates the per-partition trees for the configuration.
+// allocTrees instantiates the per-partition trees for the configuration,
+// each wired to its share of the parallelism budget so partition-level
+// and intra-tree concurrency compose. Coalescing trees have no internal
+// levels (their fold-up of new splits is parallelized in foldPayloads).
 func (rt *Runtime) allocTrees() {
 	n := rt.parts
+	treePar := rt.treeParallelism()
 	rt.combines = make([]int64, n)
 	if rt.cfg.Engine == Strawman {
 		rt.straw = make([]*core.StrawmanTree[Payload], n)
 		rt.leaves = make([][]core.Item[Payload], n)
 		for p := range rt.straw {
 			rt.straw[p] = core.NewStrawman(rt.mergeFor(p))
+			rt.straw[p].SetParallelism(treePar)
 		}
 		return
 	}
@@ -601,24 +637,26 @@ func (rt *Runtime) allocTrees() {
 		rt.rot = make([]*core.RotatingTree[Payload], n)
 		for p := range rt.rot {
 			rt.rot[p] = core.NewRotating(rt.mergeFor(p), rt.cfg.WindowBuckets)
+			rt.rot[p].SetParallelism(treePar)
 		}
 	default:
 		if rt.cfg.Randomized {
 			rt.rnd = make([]*core.RandomizedFoldingTree[Payload], n)
 			for p := range rt.rnd {
 				rt.rnd[p] = core.NewRandomizedFolding(rt.mergeFor(p), rt.cfg.Seed+uint64(p)+1)
+				rt.rnd[p].SetParallelism(treePar)
 			}
 		} else {
 			rt.fold = make([]*core.FoldingTree[Payload], n)
 			factor := rt.cfg.RebuildFactor
 			for p := range rt.fold {
+				opts := []core.FoldingOption[Payload]{core.WithParallelism[Payload](treePar)}
 				if factor < 0 {
-					rt.fold[p] = core.NewFolding(rt.mergeFor(p), core.WithRebuildFactor[Payload](0))
+					opts = append(opts, core.WithRebuildFactor[Payload](0))
 				} else if factor > 0 {
-					rt.fold[p] = core.NewFolding(rt.mergeFor(p), core.WithRebuildFactor[Payload](factor))
-				} else {
-					rt.fold[p] = core.NewFolding(rt.mergeFor(p))
+					opts = append(opts, core.WithRebuildFactor[Payload](factor))
 				}
+				rt.fold[p] = core.NewFolding(rt.mergeFor(p), opts...)
 			}
 		}
 	}

@@ -134,8 +134,10 @@ func RunScratch(job *Job, window []Split, parallelism int, rec *Recorder) (Outpu
 }
 
 // CheckJob property-tests a job's combiner contract (associativity,
-// declared commutativity, non-mutation) against real sample splits. Run
-// it in a test before trusting a new job to the incremental runtime.
+// declared commutativity, non-mutation, alias-free results) against real
+// sample splits. Run it in a test before trusting a new job to the
+// incremental runtime — especially before setting Config.Parallelism > 1,
+// which relies on the purity/alias-freedom contract.
 func CheckJob(job *Job, samples []Split) error {
 	return mapreduce.CheckJob(job, samples)
 }
