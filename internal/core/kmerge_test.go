@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestReduceOrderedKOrderAndDeterminism checks the K-way reduction
+// preserves window order (string concatenation is associative but not
+// commutative) and makes exactly the same kmerge calls — same count,
+// same batch widths — at every parallelism. Batch boundaries come from
+// the fixed leaf width, never from the worker count, so memoizable
+// combine counts stay worker-independent.
+func TestReduceOrderedKOrderAndDeterminism(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 200, 64*64 + 7} {
+		items := make([]string, n)
+		for i := range items {
+			items[i] = fmt.Sprintf("[%d]", i)
+		}
+		want := strings.Join(items, "")
+
+		type runStats struct {
+			calls  int64
+			widths map[int]int64
+		}
+		run := func(par int) (string, bool, runStats) {
+			var calls atomic.Int64
+			var widths [kMergeLeafWidth + 1]atomic.Int64
+			kmerge := func(batch []string) string {
+				calls.Add(1)
+				widths[len(batch)].Add(1)
+				return strings.Join(batch, "")
+			}
+			got, ok := ReduceOrderedK(par, kmerge, items)
+			rs := runStats{calls: calls.Load(), widths: map[int]int64{}}
+			for w := range widths {
+				if c := widths[w].Load(); c != 0 {
+					rs.widths[w] = c
+				}
+			}
+			return got, ok, rs
+		}
+
+		got1, ok1, rs1 := run(1)
+		if ok1 != (n > 0) {
+			t.Fatalf("n=%d: ok=%v", n, ok1)
+		}
+		if n > 0 && got1 != want {
+			t.Fatalf("n=%d par=1: order violated", n)
+		}
+		for _, par := range []int{2, 8} {
+			got, ok, rs := run(par)
+			if ok != ok1 || got != got1 {
+				t.Fatalf("n=%d par=%d: result diverges from par=1", n, par)
+			}
+			if rs.calls != rs1.calls {
+				t.Fatalf("n=%d par=%d: %d kmerge calls, par=1 made %d", n, par, rs.calls, rs1.calls)
+			}
+			for w, c := range rs1.widths {
+				if rs.widths[w] != c {
+					t.Fatalf("n=%d par=%d: width-%d batches %d, par=1 made %d", n, par, w, rs.widths[w], c)
+				}
+			}
+		}
+		// Single items are passed through, never wrapped in a 1-wide merge.
+		if rs1.widths[1] != 0 {
+			t.Fatalf("n=%d: %d single-item kmerge calls, want 0", n, rs1.widths[1])
+		}
+	}
+}

@@ -110,6 +110,60 @@ func ReduceOrdered[T any](par int, merge MergeFunc[T], items []T) (T, bool) {
 	return reduceOrdered(par, merge, items, &st)
 }
 
+// KMergeFunc combines any number of payloads in a single pass, preserving
+// left-to-right window order. It must be equivalent to folding an
+// associative binary merge over the items (the combiner's multi-argument
+// associativity), and — like MergeFunc under parallel execution — pure
+// and alias-free.
+type KMergeFunc[T any] func(items []T) T
+
+// kMergeLeafWidth is the number of items batched into one K-way merge at
+// the leaf level of ReduceOrderedK. It is a fixed constant — never derived
+// from the worker count — so batch boundaries, combiner-call counts, and
+// value association are identical at any parallelism, preserving the
+// engine's contract that outputs and work counters do not depend on how
+// the work was scheduled.
+const kMergeLeafWidth = 64
+
+// ReduceOrderedK folds items into a single payload through K-way merges:
+// the leaf level batches fixed-width runs of kMergeLeafWidth items into
+// one kmerge call each (the batches run concurrently over at most par
+// workers), and the surviving batch roots are folded the same way until
+// one payload remains. For the common fold-up sizes (new splits of a
+// slide, bucket widths) this is a single kmerge call — one pass, one
+// output allocation — where the pairwise reduction allocated an
+// intermediate payload per merge. It reports false for an empty slice; a
+// single item is returned as-is, exactly as the pairwise reduction did.
+func ReduceOrderedK[T any](par int, kmerge KMergeFunc[T], items []T) (T, bool) {
+	switch len(items) {
+	case 0:
+		var zero T
+		return zero, false
+	case 1:
+		return items[0], true
+	}
+	var scratch Stats // batch counts are not tree work; discarded
+	for len(items) > kMergeLeafWidth {
+		chunks := (len(items) + kMergeLeafWidth - 1) / kMergeLeafWidth
+		out := make([]T, chunks)
+		src := items
+		parallelFor(par, chunks, &scratch, func(i int, _ *Stats) {
+			lo := i * kMergeLeafWidth
+			hi := lo + kMergeLeafWidth
+			if hi > len(src) {
+				hi = len(src)
+			}
+			if hi-lo == 1 {
+				out[i] = src[lo]
+			} else {
+				out[i] = kmerge(src[lo:hi])
+			}
+		})
+		items = out
+	}
+	return kmerge(items), true
+}
+
 // normalizeParallelism clamps a parallelism knob to ≥ 1.
 func normalizeParallelism(par int) int {
 	if par < 1 {

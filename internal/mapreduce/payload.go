@@ -1,7 +1,6 @@
 package mapreduce
 
 import (
-	"hash/fnv"
 	"math"
 	"sort"
 )
@@ -11,25 +10,60 @@ import (
 // to one reduce partition.
 type Payload map[string]Value
 
+// FNV-1a constants (32-bit), matching hash/fnv.
+const (
+	fnvOffset32 uint32 = 2166136261
+	fnvPrime32  uint32 = 16777619
+)
+
+// HashKey32 is the FNV-1a hash of key, computed without allocating: the
+// loop runs directly over the string bytes instead of copying them into a
+// []byte for a hash.Hash32. It produces bit-identical results to
+// fnv.New32a over the same bytes (pinned by tests), so partition and
+// placement assignments are unchanged from the allocating implementation.
+func HashKey32(key string) uint32 {
+	h := fnvOffset32
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
 // Partition assigns a key to one of n reduce partitions using FNV-1a,
 // mirroring Hadoop's hash partitioner. n ≤ 1 (including the zero value
 // of an unconfigured job) short-circuits to partition 0 so the uint32
-// modulo below can never divide by zero.
+// modulo below can never divide by zero. It performs no allocations: it
+// sits on the map-side emit path, where a per-call hasher and []byte(key)
+// copy dominated the partitioning cost.
 func Partition(key string, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
+	return int(HashKey32(key) % uint32(n))
 }
+
+// emptyPayload is the shared empty-payload sentinel. Empty payloads are
+// extremely common on the hot combine path — a partition that received no
+// keys from a split, a sparse slide's empty delta — and every one used to
+// cost a fresh zero-length map allocation through the ClonePayload fast
+// paths. The sentinel is immutable by contract: it is returned only where
+// the result is empty, and conforming callers (contraction trees, the
+// reduce phase) never mutate payloads they did not allocate.
+var emptyPayload = Payload{}
+
+// EmptyPayload returns the shared immutable empty payload. Callers must
+// treat it as read-only; writing to it would corrupt every holder of an
+// empty merge result.
+func EmptyPayload() Payload { return emptyPayload }
 
 // MergeOrdered combines two payloads preserving left-to-right window
 // order: values from `left` precede values from `right` in combiner
-// argument order. Neither input is mutated, and the result never aliases
-// either input map: contraction trees memoize merged payloads across runs,
-// so handing back a caller-owned map would let later mutations (or
-// concurrent merges) silently corrupt tree-node state.
+// argument order. Neither input is mutated, and a non-empty result never
+// aliases either input map: contraction trees memoize merged payloads
+// across runs, so handing back a caller-owned map would let later
+// mutations (or concurrent merges) silently corrupt tree-node state. An
+// empty result is the shared EmptyPayload sentinel (no allocation).
 func MergeOrdered(job *Job, left, right Payload) (Payload, int64) {
 	if len(left) == 0 {
 		return ClonePayload(right), 0
@@ -53,10 +87,127 @@ func MergeOrdered(job *Job, left, right Payload) (Payload, int64) {
 	return out, combines
 }
 
+// runLoc tracks one duplicated key's reserved block in the K-way merge's
+// shared value arena: start is the block offset, n how many values have
+// been written so far (n reaches the key's occurrence count by the end of
+// the gather pass).
+type runLoc struct {
+	start, n int
+}
+
+// MergeOrderedK merges any number of payloads in window order with a
+// single output-map allocation, replacing a fold of binary MergeOrdered
+// calls (which allocates len(payloads)−1 intermediate maps and combines
+// each duplicated key once per adjacent pair). Values for the same key are
+// gathered left-to-right across the inputs and handed to one
+// multi-argument Combine call per key — the combiner is declared
+// associative over value slices (see Job.Combine), so the result equals
+// the pairwise fold. The returned combine count is the number of Combine
+// invocations (one per key with ≥ 2 occurrences); it is deterministic and
+// independent of any worker count.
+//
+// Allocation shape: a counting pass sizes everything up front, so the
+// merge makes O(1) bulk allocations — the occurrence-count map, the output
+// map, one shared value arena holding every duplicated key's run, and the
+// run-location map — instead of a fresh slice (and growth reallocations)
+// per duplicated key. Each Combine receives a sub-slice of the arena;
+// conforming combiners (CheckJob) do not mutate or retain their argument
+// slice, and the arena is dropped when the merge returns.
+//
+// Like MergeOrdered, inputs are never mutated and a non-empty result
+// never aliases any input; an empty result is the EmptyPayload sentinel.
+func MergeOrderedK(job *Job, payloads ...Payload) (Payload, int64) {
+	nonEmpty, last, total := 0, -1, 0
+	for i, p := range payloads {
+		if len(p) > 0 {
+			nonEmpty++
+			last = i
+			total += len(p)
+		}
+	}
+	switch nonEmpty {
+	case 0:
+		return emptyPayload, 0
+	case 1:
+		return ClonePayload(payloads[last]), 0
+	case 2:
+		// The binary path avoids the run bookkeeping below.
+		first := -1
+		for i, p := range payloads {
+			if len(p) > 0 {
+				first = i
+				break
+			}
+		}
+		return MergeOrdered(job, payloads[first], payloads[last])
+	}
+	// Counting pass: per-key occurrence counts size the output map, the
+	// value arena, and the run-location map exactly.
+	counts := make(map[string]int, total)
+	for _, p := range payloads {
+		for k := range p {
+			counts[k]++
+		}
+	}
+	out := make(Payload, len(counts))
+	arenaLen, dupKeys := 0, 0
+	for _, c := range counts {
+		if c > 1 {
+			arenaLen += c
+			dupKeys++
+		}
+	}
+	if dupKeys == 0 {
+		// Disjoint key spaces: a straight copy, no combines.
+		for _, p := range payloads {
+			for k, v := range p {
+				out[k] = v
+			}
+		}
+		return out, 0
+	}
+	// Gather pass: singleton keys go to out directly; each duplicated
+	// key's values land in its reserved arena block, in window order
+	// (payloads are walked left to right, and a key occurs at most once
+	// per payload).
+	arena := make([]Value, arenaLen)
+	locs := make(map[string]runLoc, dupKeys)
+	next := 0
+	for _, p := range payloads {
+		for k, v := range p {
+			c := counts[k]
+			if c == 1 {
+				out[k] = v
+				continue
+			}
+			loc, ok := locs[k]
+			if !ok {
+				loc = runLoc{start: next}
+				next += c
+			}
+			arena[loc.start+loc.n] = v
+			loc.n++
+			locs[k] = loc
+		}
+	}
+	// Combine pass: one multi-argument Combine per duplicated key.
+	var combines int64
+	for k, loc := range locs {
+		out[k] = job.Combine(k, arena[loc.start:loc.start+loc.n])
+		combines++
+	}
+	return out, combines
+}
+
 // ClonePayload returns a shallow copy of p: a fresh map sharing p's
 // values. Values themselves are never mutated by conforming combiners
 // (see CheckJob), so a shallow copy is enough to decouple map ownership.
+// Cloning an empty payload returns the shared EmptyPayload sentinel
+// instead of allocating; empty results must be treated as read-only.
 func ClonePayload(p Payload) Payload {
+	if len(p) == 0 {
+		return emptyPayload
+	}
 	out := make(Payload, len(p))
 	for k, v := range p {
 		out[k] = v

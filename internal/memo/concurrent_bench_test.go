@@ -1,0 +1,227 @@
+package memo
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// mutexStore replicates the pre-shard design for benchmarking: one mutex
+// guarding the whole index AND every counter, so concurrent readers,
+// writers, and cost-model charges all serialize. The cost arithmetic is
+// identical to Store's; only the locking differs.
+type mutexStore struct {
+	cfg     Config
+	mu      sync.Mutex
+	index   map[string]*entry
+	failed  map[int]bool
+	hits    int64
+	misses  int64
+	readNs  int64
+	writeNs int64
+}
+
+func newMutexStore(cfg Config) *mutexStore {
+	cfg.normalize()
+	return &mutexStore{cfg: cfg, index: make(map[string]*entry), failed: make(map[int]bool)}
+}
+
+func (s *mutexStore) homeNode(key string) int {
+	return int(hashKey32(key) % uint32(s.cfg.Nodes))
+}
+
+func (s *mutexStore) put(key string, value any, size int64, lo, hi uint64) int64 {
+	home := s.homeNode(key)
+	reps := make([]int, 0, s.cfg.Replicas)
+	for i := 1; i <= s.cfg.Replicas; i++ {
+		reps = append(reps, (home+i)%s.cfg.Nodes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mem := home
+	if !s.cfg.InMemory || s.failed[home] {
+		mem = -1
+	}
+	s.index[key] = &entry{value: value, size: size, memNode: mem, replicas: reps, lo: lo, hi: hi}
+	kb := (size + 1023) / 1024
+	cost := kb*s.cfg.MemWriteNsPerKB + int64(len(reps))*kb*s.cfg.DiskWriteNsPerKB
+	s.writeNs += cost
+	return cost
+}
+
+func (s *mutexStore) get(key string, fromNode int) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	kb := (e.size + 1023) / 1024
+	if e.memNode >= 0 && !s.failed[e.memNode] {
+		cost := s.cfg.MemReadOverheadNs + kb*s.cfg.MemReadNsPerKB
+		if fromNode >= 0 && fromNode != e.memNode {
+			cost += kb * s.cfg.NetReadNsPerKB
+		}
+		s.hits++
+		s.readNs += cost
+		return e.value, nil
+	}
+	cost := s.cfg.DiskReadOverheadNs + kb*s.cfg.DiskReadNsPerKB
+	local := false
+	for _, r := range e.replicas {
+		if r == fromNode && !s.failed[r] {
+			local = true
+			break
+		}
+	}
+	if !local {
+		cost += kb * s.cfg.NetReadNsPerKB
+	}
+	s.misses++
+	s.readNs += cost
+	return e.value, nil
+}
+
+func (s *mutexStore) chargeRead(key string, size int64, fromNode int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	home := s.homeNode(key)
+	kb := (size + 1023) / 1024
+	if s.cfg.InMemory && !s.failed[home] {
+		cost := s.cfg.MemReadOverheadNs + kb*s.cfg.MemReadNsPerKB
+		if fromNode >= 0 && fromNode != home {
+			cost += kb * s.cfg.NetReadNsPerKB
+		}
+		s.hits++
+		s.readNs += cost
+		return
+	}
+	s.misses++
+	s.readNs += s.cfg.DiskReadOverheadNs + kb*s.cfg.DiskReadNsPerKB + kb*s.cfg.NetReadNsPerKB
+}
+
+func (s *mutexStore) chargeWrite(size int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kb := (size + 1023) / 1024
+	cost := kb*s.cfg.MemWriteNsPerKB + int64(s.cfg.Replicas)*kb*s.cfg.DiskWriteNsPerKB
+	s.writeNs += cost
+	return cost
+}
+
+// stats replicates the pre-shard Stats: resident bytes and entry counts
+// were not maintained incrementally, so the snapshot walked the whole
+// index — under the same mutex every reader and charge serializes on.
+func (s *mutexStore) stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Hits: s.hits, Misses: s.misses, ReadTimeNs: s.readNs, WriteTimeNs: s.writeNs}
+	for _, e := range s.index {
+		st.Entries++
+		st.Bytes += e.size
+	}
+	return st
+}
+
+// memoOps abstracts the hot read path shared by Store and mutexStore so
+// one benchmark body drives both.
+type memoOps interface {
+	get(key string, fromNode int) (any, error)
+	chargeRead(key string, size int64, fromNode int)
+	chargeWrite(size int64) int64
+	stats() Stats
+}
+
+// shardedOps adapts *Store to memoOps.
+type shardedOps struct{ s *Store }
+
+func (a shardedOps) get(key string, fromNode int) (any, error) { return a.s.Get(key, fromNode) }
+func (a shardedOps) chargeRead(key string, size int64, fromNode int) {
+	a.s.ChargeRead(key, size, fromNode)
+}
+func (a shardedOps) chargeWrite(size int64) int64 { return a.s.ChargeWrite(size) }
+func (a shardedOps) stats() Stats                 { return a.s.Stats() }
+
+// benchKeys is the resident window state: a few thousand memoized tree
+// nodes, the steady state of a contraction tree over a window of a few
+// hundred splits × partitions.
+const benchKeys = 8192
+
+// statsEvery is how often a worker snapshots stats relative to node
+// charges: roughly one end-of-run metrics snapshot per ~hundred
+// charged nodes, matching the runtime's per-run accounting cadence.
+const statsEvery = 128
+
+func benchKey(i int) string { return fmt.Sprintf("node-%d", i%benchKeys) }
+
+// runMemoBench drives the contraction engine's per-node access pattern —
+// an indexed Get, a bulk ChargeRead, a bulk ChargeWrite, and a stats
+// snapshot every statsEvery nodes — from the given number of goroutines.
+// GOMAXPROCS is raised to the goroutine count for the duration so
+// contention is real even on a single-core runner (oversubscribed
+// goroutines park on the contended mutex futex instead of merely
+// time-slicing).
+func runMemoBench(b *testing.B, ops memoOps, goroutines int) {
+	prev := runtime.GOMAXPROCS(goroutines)
+	defer runtime.GOMAXPROCS(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / goroutines
+	if b.N%goroutines != 0 {
+		per++
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := g * per
+			for i := 0; i < per; i++ {
+				key := benchKey(base + i)
+				if _, err := ops.get(key, (base+i)%8); err != nil {
+					panic(err)
+				}
+				ops.chargeRead(key, 4096, (base+i)%8)
+				ops.chargeWrite(2048)
+				if i%statsEvery == statsEvery-1 {
+					if st := ops.stats(); st.Entries < benchKeys {
+						panic("entries lost during benchmark")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkMemoSharded measures the sharded store's per-node access
+// pattern at 1 and 8 goroutines: shard locks only on Get, lock-free
+// charges, O(1) stats from atomics.
+func BenchmarkMemoSharded(b *testing.B) {
+	for _, goroutines := range []int{1, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", goroutines), func(b *testing.B) {
+			s := NewStore(testConfig())
+			for i := 0; i < benchKeys; i++ {
+				s.Put(benchKey(i), i, 4096, uint64(i), uint64(i))
+			}
+			runMemoBench(b, shardedOps{s}, goroutines)
+		})
+	}
+}
+
+// BenchmarkMemoSingleMutex is the pre-shard baseline under the identical
+// workload — every op and every O(entries) stats walk serializes on one
+// mutex. The goroutines=8 comparison against BenchmarkMemoSharded is the
+// contention win recorded in BENCH_merge.json.
+func BenchmarkMemoSingleMutex(b *testing.B) {
+	for _, goroutines := range []int{1, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", goroutines), func(b *testing.B) {
+			s := newMutexStore(testConfig())
+			for i := 0; i < benchKeys; i++ {
+				s.put(benchKey(i), i, 4096, uint64(i), uint64(i))
+			}
+			runMemoBench(b, s, goroutines)
+		})
+	}
+}

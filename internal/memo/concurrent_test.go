@@ -1,0 +1,122 @@
+package memo
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// hammerOps drives one goroutine's deterministic slice of work against a
+// store: puts of goroutine-private keys, gets and bulk charges over the
+// shared key space. Every op's simulated cost depends only on the key and
+// fromNode (no failures, in-memory cache on), so the Stats totals are
+// interleaving-independent and must equal a sequential run's.
+func hammerOps(s *Store, goroutine, rounds int) {
+	for r := 0; r < rounds; r++ {
+		key := fmt.Sprintf("g%d-r%d", goroutine, r)
+		s.Put(key, r, int64(1024*(1+r%7)), uint64(r), uint64(r))
+		if _, err := s.Get(key, s.HomeNode(key)); err != nil {
+			panic(err)
+		}
+		shared := fmt.Sprintf("shared-%d", r%16)
+		s.ChargeRead(shared, int64(2048+r%512), goroutine%s.cfg.Nodes)
+		s.ChargeWrite(int64(512 * (1 + r%3)))
+	}
+}
+
+// TestStoreConcurrentStatsMatchSequential is the contention satellite
+// test: GOMAXPROCS goroutines hammer the sharded store concurrently
+// (under -race in CI), and every Stats total must equal the sum a
+// sequential execution of the same ops produces. Hits, misses, and
+// read/write time are atomics; entries and resident bytes are maintained
+// under shard locks — any lost update or double count diverges the
+// totals.
+func TestStoreConcurrentStatsMatchSequential(t *testing.T) {
+	goroutines := runtime.GOMAXPROCS(0)
+	if goroutines < 4 {
+		goroutines = 4
+	}
+	const rounds = 200
+
+	cfg := testConfig()
+	cfg.Nodes = 8
+
+	seq := NewStore(cfg)
+	for g := 0; g < goroutines; g++ {
+		hammerOps(seq, g, rounds)
+	}
+	want := seq.Stats()
+
+	conc := NewStore(cfg)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hammerOps(conc, g, rounds)
+		}(g)
+	}
+	wg.Wait()
+	got := conc.Stats()
+
+	if got != want {
+		t.Fatalf("concurrent stats diverge from sequential sum:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Every goroutine-private key must be retrievable afterwards.
+	for g := 0; g < goroutines; g++ {
+		key := fmt.Sprintf("g%d-r%d", g, rounds-1)
+		if !conc.Contains(key) {
+			t.Fatalf("key %s lost under concurrency", key)
+		}
+	}
+}
+
+// TestStoreConcurrentGCAndReads interleaves GC sweeps, node failures, and
+// reads; the test asserts only invariants that hold under any
+// interleaving (no panics, non-negative stats, entries+evicted
+// conservation) and runs under -race to flush locking bugs on the
+// maintenance paths.
+func TestStoreConcurrentGCAndReads(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 8
+	s := NewStore(cfg)
+	const keys = 256
+	for i := 0; i < keys; i++ {
+		s.Put(fmt.Sprintf("k%d", i), i, 1024, uint64(i), uint64(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				_, _ = s.Get(fmt.Sprintf("k%d", i), g)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for lo := uint64(0); lo < keys; lo += 16 {
+			s.GC(lo)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < cfg.Nodes; n++ {
+			s.FailNode(n)
+			s.RecoverNode(n)
+		}
+	}()
+	wg.Wait()
+	st := s.Stats()
+	if st.Entries < 0 || st.Bytes < 0 || st.ReadTimeNs < 0 {
+		t.Fatalf("negative stats after concurrent maintenance: %+v", st)
+	}
+	if st.Entries+st.Evicted < keys {
+		t.Fatalf("entries %d + evicted %d < %d puts", st.Entries, st.Evicted, keys)
+	}
+}

@@ -14,8 +14,8 @@ package memo
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
+	"sync/atomic"
 )
 
 // Config describes the simulated memoization substrate.
@@ -99,7 +99,8 @@ func (c *Config) normalize() {
 	}
 }
 
-// entry is one memoized object tracked by the master index.
+// entry is one memoized object tracked by the master index. Its fields
+// are guarded by the owning shard's mutex.
 type entry struct {
 	value    any
 	size     int64
@@ -122,29 +123,83 @@ type Stats struct {
 // ErrNotFound is returned when a key is absent from the layer entirely.
 var ErrNotFound = errors.New("memo: not found")
 
-// Store is the fault-tolerant memoization layer. It is safe for
-// concurrent use.
-type Store struct {
-	cfg Config
+// numShards is the power-of-two number of index shards. 64 comfortably
+// exceeds any worker count the contraction engine runs (partition workers
+// × intra-tree workers), so two concurrent accesses rarely collide on a
+// shard lock; the per-shard footprint (a map header and a mutex) keeps the
+// empty store cheap.
+const numShards = 64
 
-	mu      sync.Mutex
-	index   map[string]*entry
-	down    map[int]bool // nodes whose RAM contents were lost
-	hits    int64
-	misses  int64
-	readNs  int64
-	writeNs int64
-	evicted int64
+// indexShard is one hash shard of the master index: a slice of the key
+// space behind its own mutex, padded so neighbouring shards' locks do
+// not share a cache line.
+type indexShard struct {
+	mu    sync.Mutex
+	index map[string]*entry
+	_     [48]byte
+}
+
+// Store is the fault-tolerant memoization layer. It is safe for concurrent
+// use: the master index is split into power-of-two hash shards with
+// per-shard mutexes, the activity counters are atomics, and the
+// failed-node set is a copy-on-write snapshot — so concurrent tree
+// workers reading, writing, and charging the cost model never serialize
+// behind a single lock. The read- and write-cost models and GC semantics
+// are identical to the single-mutex implementation.
+type Store struct {
+	cfg    Config
+	shards [numShards]indexShard
+
+	// down is a copy-on-write snapshot of the failed-node set, read on
+	// every Get/Put/ChargeRead without locking. failMu serializes the
+	// rare writers (FailNode/RecoverNode).
+	down   atomic.Pointer[map[int]bool]
+	failMu sync.Mutex
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	readNs   atomic.Int64
+	writeNs  atomic.Int64
+	evicted  atomic.Int64
+	entries  atomic.Int64
+	resident atomic.Int64 // sum of live entry sizes
 }
 
 // NewStore returns an empty memoization layer.
 func NewStore(cfg Config) *Store {
 	cfg.normalize()
-	return &Store{
-		cfg:   cfg,
-		index: make(map[string]*entry),
-		down:  make(map[int]bool),
+	s := &Store{cfg: cfg}
+	for i := range s.shards {
+		s.shards[i].index = make(map[string]*entry)
 	}
+	return s
+}
+
+// shardFor returns the index shard owning key.
+func (s *Store) shardFor(key string) *indexShard {
+	return &s.shards[hashKey32(key)&(numShards-1)]
+}
+
+// hashKey32 is the allocation-free FNV-1a used for both node placement
+// and shard selection (bit-identical to hash/fnv over the same bytes).
+func hashKey32(key string) uint32 {
+	const (
+		offset32 uint32 = 2166136261
+		prime32  uint32 = 16777619
+	)
+	h := offset32
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+// isDown reports whether node's RAM and replicas are currently
+// unreachable, against the latest copy-on-write snapshot.
+func (s *Store) isDown(node int) bool {
+	m := s.down.Load()
+	return m != nil && (*m)[node]
 }
 
 // HomeNode returns the node whose RAM would cache the given key. The
@@ -157,9 +212,7 @@ func (s *Store) HomeNode(key string) int {
 		// a zero-value Store must not panic on uint32(0) modulo.
 		nodes = 1
 	}
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(nodes))
+	return int(hashKey32(key) % uint32(nodes))
 }
 
 // replicaNodes returns the persistent-replica placement for a key's home
@@ -185,30 +238,37 @@ func (s *Store) replicaNodes(home int) []int {
 func (s *Store) Put(key string, value any, size int64, lo, hi uint64) int64 {
 	home := s.HomeNode(key)
 	replicas := s.replicaNodes(home)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	mem := home
-	if !s.cfg.InMemory || s.down[home] {
+	if !s.cfg.InMemory || s.isDown(home) {
 		mem = -1
 	}
-	s.index[key] = &entry{value: value, size: size, memNode: mem, replicas: replicas, lo: lo, hi: hi}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	old, existed := sh.index[key]
+	sh.index[key] = &entry{value: value, size: size, memNode: mem, replicas: replicas, lo: lo, hi: hi}
+	sh.mu.Unlock()
+	if existed {
+		s.resident.Add(size - old.size)
+	} else {
+		s.entries.Add(1)
+		s.resident.Add(size)
+	}
 	kb := (size + 1023) / 1024
 	cost := kb * s.cfg.MemWriteNsPerKB
 	cost += int64(len(replicas)) * kb * s.cfg.DiskWriteNsPerKB
-	s.writeNs += cost
+	s.writeNs.Add(cost)
 	return cost
 }
 
 // ChargeWrite charges the write-cost model for memoizing size bytes of
 // state without creating an index entry (bulk accounting of
-// contraction-tree node writes).
+// contraction-tree node writes). It touches only atomic counters, so
+// concurrent partition workers never serialize here.
 func (s *Store) ChargeWrite(size int64) int64 {
 	kb := (size + 1023) / 1024
 	cost := kb * s.cfg.MemWriteNsPerKB
 	cost += int64(s.cfg.Replicas) * kb * s.cfg.DiskWriteNsPerKB
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.writeNs += cost
+	s.writeNs.Add(cost)
 	return cost
 }
 
@@ -218,28 +278,31 @@ func (s *Store) ChargeWrite(size int64) int64 {
 // replica costs disk (+network) time. It returns ErrNotFound when the key
 // is unknown.
 func (s *Store) Get(key string, fromNode int) (any, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.index[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.index[key]
 	if !ok {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("memo: key %q: %w", key, ErrNotFound)
 	}
 	kb := (e.size + 1023) / 1024
-	if e.memNode >= 0 && !s.down[e.memNode] {
-		s.hits++
+	if e.memNode >= 0 && !s.isDown(e.memNode) {
+		memNode := e.memNode
+		value := e.value
+		sh.mu.Unlock()
 		cost := s.cfg.MemReadOverheadNs + kb*s.cfg.MemReadNsPerKB
-		if fromNode >= 0 && fromNode != e.memNode {
+		if fromNode >= 0 && fromNode != memNode {
 			cost += kb * s.cfg.NetReadNsPerKB
 		}
-		s.readNs += cost
-		return e.value, nil
+		s.hits.Add(1)
+		s.readNs.Add(cost)
+		return value, nil
 	}
 	// Fall back to a persistent replica; prefer a local one.
-	s.misses++
 	cost := s.cfg.DiskReadOverheadNs + kb*s.cfg.DiskReadNsPerKB
 	local := false
 	for _, r := range e.replicas {
-		if r == fromNode && !s.down[r] {
+		if r == fromNode && !s.isDown(r) {
 			local = true
 			break
 		}
@@ -247,64 +310,79 @@ func (s *Store) Get(key string, fromNode int) (any, error) {
 	if !local {
 		cost += kb * s.cfg.NetReadNsPerKB
 	}
-	s.readNs += cost
 	// Re-populate the in-memory cache on the home node (read-repair).
 	home := s.HomeNode(key)
-	if s.cfg.InMemory && !s.down[home] {
+	if s.cfg.InMemory && !s.isDown(home) {
 		e.memNode = home
 	}
-	return e.value, nil
+	value := e.value
+	sh.mu.Unlock()
+	s.misses.Add(1)
+	s.readNs.Add(cost)
+	return value, nil
 }
 
 // Contains reports whether key is memoized, without charging a read.
 func (s *Store) Contains(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.index[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.index[key]
 	return ok
 }
 
 // Delete removes a key outright.
 func (s *Store) Delete(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.index[key]; ok {
-		delete(s.index, key)
-		s.evicted++
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.index[key]
+	if ok {
+		delete(sh.index, key)
+	}
+	sh.mu.Unlock()
+	if ok {
+		s.entries.Add(-1)
+		s.resident.Add(-e.size)
+		s.evicted.Add(1)
 	}
 }
 
 // GC frees every entry whose interval ended before windowLo — the
 // automatic policy of §6 ("free the storage occupied by data items that
 // fall out of the current window"). It returns the number of entries
-// collected.
+// collected. Shards are swept one at a time, so concurrent readers of
+// other shards proceed undisturbed.
 func (s *Store) GC(windowLo uint64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	collected := 0
-	for k, e := range s.index {
-		if e.hi < windowLo {
-			delete(s.index, k)
-			collected++
-		}
-	}
-	s.evicted += int64(collected)
-	return collected
+	return s.sweep(func(_ string, e *entry) bool { return e.hi < windowLo })
 }
 
 // GCFunc frees entries selected by a user-defined policy (the paper's
 // "more aggressive user-defined policy").
 func (s *Store) GCFunc(drop func(key string, lo, hi uint64, size int64) bool) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.sweep(func(k string, e *entry) bool { return drop(k, e.lo, e.hi, e.size) })
+}
+
+// sweep removes every entry selected by drop, shard by shard.
+func (s *Store) sweep(drop func(key string, e *entry) bool) int {
 	collected := 0
-	for k, e := range s.index {
-		if drop(k, e.lo, e.hi, e.size) {
-			delete(s.index, k)
-			collected++
+	var bytes int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.index {
+			if drop(k, e) {
+				delete(sh.index, k)
+				collected++
+				bytes += e.size
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.evicted += int64(collected)
+	if collected > 0 {
+		s.entries.Add(int64(-collected))
+		s.resident.Add(-bytes)
+		s.evicted.Add(int64(collected))
+	}
 	return collected
 }
 
@@ -312,21 +390,41 @@ func (s *Store) GCFunc(drop func(key string, lo, hi uint64, size int64) bool) in
 // are lost and its persistent replicas become unreachable until
 // RecoverNode. Reads transparently fall back to surviving replicas.
 func (s *Store) FailNode(node int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.down[node] = true
-	for _, e := range s.index {
-		if e.memNode == node {
-			e.memNode = -1
+	s.failMu.Lock()
+	next := s.copyDown()
+	next[node] = true
+	s.down.Store(&next)
+	s.failMu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.index {
+			if e.memNode == node {
+				e.memNode = -1
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // RecoverNode brings a failed machine back (with empty RAM).
 func (s *Store) RecoverNode(node int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.down, node)
+	s.failMu.Lock()
+	next := s.copyDown()
+	delete(next, node)
+	s.down.Store(&next)
+	s.failMu.Unlock()
+}
+
+// copyDown clones the current failed-node set; callers hold failMu.
+func (s *Store) copyDown() map[int]bool {
+	next := make(map[int]bool)
+	if m := s.down.Load(); m != nil {
+		for n, d := range *m {
+			next[n] = d
+		}
+	}
+	return next
 }
 
 // ChargeRead charges the read-cost model for size bytes of memoized state
@@ -336,26 +434,24 @@ func (s *Store) RecoverNode(node int) {
 // an in-memory read is local only on the home node, and a persistent
 // read is local when fromNode holds any live replica — not just the
 // first one — so a read served from the second replica (Replicas ≥ 2)
-// is no longer wrongly charged a network hop.
+// is no longer wrongly charged a network hop. The charge is lock-free
+// (atomic counters only): it sits on every partition's critical path.
 func (s *Store) ChargeRead(key string, size int64, fromNode int) {
 	home := s.HomeNode(key)
 	kb := (size + 1023) / 1024
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cfg.InMemory && !s.down[home] {
-		s.hits++
+	if s.cfg.InMemory && !s.isDown(home) {
 		cost := s.cfg.MemReadOverheadNs + kb*s.cfg.MemReadNsPerKB
 		if fromNode >= 0 && fromNode != home {
 			cost += kb * s.cfg.NetReadNsPerKB
 		}
-		s.readNs += cost
+		s.hits.Add(1)
+		s.readNs.Add(cost)
 		return
 	}
-	s.misses++
 	cost := s.cfg.DiskReadOverheadNs + kb*s.cfg.DiskReadNsPerKB
 	local := false
 	for _, r := range s.replicaNodes(home) {
-		if r == fromNode && !s.down[r] {
+		if r == fromNode && !s.isDown(r) {
 			local = true
 			break
 		}
@@ -363,31 +459,28 @@ func (s *Store) ChargeRead(key string, size int64, fromNode int) {
 	if !local {
 		cost += kb * s.cfg.NetReadNsPerKB
 	}
-	s.readNs += cost
+	s.misses.Add(1)
+	s.readNs.Add(cost)
 }
 
-// Stats returns a snapshot of the layer's counters.
+// Stats returns a snapshot of the layer's counters. Resident bytes and
+// entry counts are maintained incrementally (Put/Delete/GC), so the
+// snapshot is O(1) instead of a walk over the whole index.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var bytes int64
-	for _, e := range s.index {
-		bytes += e.size
-	}
 	return Stats{
-		Hits:        s.hits,
-		Misses:      s.misses,
-		ReadTimeNs:  s.readNs,
-		WriteTimeNs: s.writeNs,
-		Bytes:       bytes,
-		Entries:     int64(len(s.index)),
-		Evicted:     s.evicted,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		ReadTimeNs:  s.readNs.Load(),
+		WriteTimeNs: s.writeNs.Load(),
+		Bytes:       s.resident.Load(),
+		Entries:     s.entries.Load(),
+		Evicted:     s.evicted.Load(),
 	}
 }
 
 // ResetReadStats clears the read counters (between measured runs).
 func (s *Store) ResetReadStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.hits, s.misses, s.readNs = 0, 0, 0
+	s.hits.Store(0)
+	s.misses.Store(0)
+	s.readNs.Store(0)
 }

@@ -91,8 +91,12 @@ func NewPipeline(plan *Plan, cfg PipelineConfig) (*Pipeline, error) {
 	for _, st := range plan.Stages[1:] {
 		ls := &laterStage{stage: st}
 		job := st.Job
+		// Later-stage strawman nodes are binary (their fingerprints key
+		// subtree reuse), so this merge sees exactly two payloads; it
+		// still routes through the K-way path for its shared empty-side
+		// and allocation fast paths.
 		merge := func(a, b mapreduce.Payload) mapreduce.Payload {
-			out, c := mapreduce.MergeOrdered(job, a, b)
+			out, c := mapreduce.MergeOrderedK(job, a, b)
 			ls.comb += c
 			return out
 		}

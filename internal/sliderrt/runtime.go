@@ -48,6 +48,7 @@ type Runtime struct {
 	cfg   Config
 	store *memo.Store
 	parts int
+	sizes *payloadSizes // memoized PayloadBytes per payload identity
 
 	seq      uint64 // next split sequence number
 	windowLo uint64 // sequence number of the oldest live split
@@ -88,6 +89,7 @@ func New(job *mapreduce.Job, cfg Config) (*Runtime, error) {
 		cfg:   cfg,
 		store: memo.NewStore(cfg.Memo),
 		parts: job.NumPartitions(),
+		sizes: newPayloadSizes(),
 	}
 	return rt, nil
 }
@@ -106,16 +108,32 @@ func (rt *Runtime) mergeFor(p int) core.MergeFunc[Payload] {
 	}
 }
 
+// kmergeFor returns partition p's K-way merge function: it merges any
+// number of payloads in a single pass in window order and counts combiner
+// calls into p's own counter (atomically — ReduceOrderedK may run several
+// of one partition's leaf batches concurrently).
+func (rt *Runtime) kmergeFor(p int) core.KMergeFunc[Payload] {
+	counter := &rt.combines[p]
+	return func(items []Payload) Payload {
+		out, c := mapreduce.MergeOrderedK(rt.job, items...)
+		atomic.AddInt64(counter, c)
+		return out
+	}
+}
+
 // foldPayloads merges payloads left to right into one using partition p's
-// merge function — the fold-up of newly arrived splits into C′ for
-// coalescing appends and rotating-bucket formation. With intra-tree
-// parallelism available it pairs adjacent payloads in parallel rounds
-// (same result for the associative combiner, same merge count).
+// K-way merge — the fold-up of newly arrived splits into C′ for
+// coalescing appends and rotating-bucket formation. These fold-ups are
+// not memoized tree nodes, so they need not preserve binary fingerprints:
+// they batch through MergeOrderedK, which allocates one output map and
+// issues one multi-argument Combine per key instead of len(ps)−1
+// intermediate maps. Batch boundaries are fixed (see kMergeLeafWidth), so
+// outputs and combine counts are identical at any worker count.
 func (rt *Runtime) foldPayloads(p int, ps []Payload) Payload {
 	if len(ps) == 0 {
-		return Payload{}
+		return mapreduce.EmptyPayload()
 	}
-	out, _ := core.ReduceOrdered(rt.treeParallelism(), rt.mergeFor(p), ps)
+	out, _ := core.ReduceOrderedK(rt.treeParallelism(), rt.kmergeFor(p), ps)
 	return out
 }
 
@@ -325,7 +343,7 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 		// roughly twice the root payload for a log-depth path.
 		var rootBytes int64
 		for _, r := range roots[p] {
-			rootBytes += mapreduce.PayloadBytes(rt.job, r)
+			rootBytes += rt.sizes.bytes(rt.job, r)
 		}
 		if rt.cfg.Mode != Append {
 			rootBytes *= 2
@@ -482,7 +500,7 @@ func (rt *Runtime) reduceAll(rec *metrics.Recorder, roots [][]Payload) mapreduce
 		partOut, calls := mapreduce.ReducePayload(rt.job, roots[p])
 		var bytes int64
 		for _, r := range roots[p] {
-			bytes += mapreduce.PayloadBytes(rt.job, r)
+			bytes += rt.sizes.bytes(rt.job, r)
 		}
 		rec.RecordTask(metrics.Task{
 			Phase:         metrics.PhaseReduce,
@@ -503,7 +521,7 @@ func (rt *Runtime) reduceAll(rec *metrics.Recorder, roots [][]Payload) mapreduce
 func (rt *Runtime) recordContraction(rec *metrics.Recorder, p int, cost time.Duration, roots []Payload) {
 	var bytes int64
 	for _, r := range roots {
-		bytes += mapreduce.PayloadBytes(rt.job, r)
+		bytes += rt.sizes.bytes(rt.job, r)
 	}
 	rec.RecordTask(metrics.Task{
 		Phase:         metrics.PhaseContraction,
@@ -519,7 +537,7 @@ func (rt *Runtime) recordContraction(rec *metrics.Recorder, p int, cost time.Dur
 func (rt *Runtime) chargeStateRead(p int, roots []Payload) {
 	var bytes int64
 	for _, r := range roots {
-		bytes += mapreduce.PayloadBytes(rt.job, r)
+		bytes += rt.sizes.bytes(rt.job, r)
 	}
 	if bytes > 0 {
 		rt.store.ChargeRead("part:"+strconv.Itoa(p), bytes, rt.partNode(p))
@@ -666,7 +684,7 @@ func (rt *Runtime) allocTrees() {
 // tree.
 func (rt *Runtime) partitionTreeBytes(p int) int64 {
 	var total int64
-	count := func(pl Payload) { total += mapreduce.PayloadBytes(rt.job, pl) }
+	count := func(pl Payload) { total += rt.sizes.bytes(rt.job, pl) }
 	switch {
 	case rt.straw != nil:
 		rt.straw[p].ForEachPayload(count)
@@ -709,10 +727,12 @@ func (rt *Runtime) treeStats() core.Stats {
 }
 
 // spaceBytes sums all memoized state: tree payloads plus cached map
-// outputs.
+// outputs. Sizes are served from the payload-size cache — an unchanged
+// memoized payload is measured once, not once per run — and the walk
+// doubles as the cache's liveness mark (finish prunes afterwards).
 func (rt *Runtime) spaceBytes() int64 {
 	var total int64
-	count := func(p Payload) { total += mapreduce.PayloadBytes(rt.job, p) }
+	count := func(p Payload) { total += rt.sizes.bytes(rt.job, p) }
 	for _, t := range rt.coal {
 		t.ForEachPayload(count)
 	}
@@ -733,10 +753,13 @@ func (rt *Runtime) spaceBytes() int64 {
 }
 
 // finish assembles the RunResult. Callers overwrite TreeStats /
-// TreeStatsBackground with precise foreground/background deltas.
+// TreeStatsBackground with precise foreground/background deltas. The
+// whole-state walk inside spaceBytes marks every live payload in the
+// size cache; pruning afterwards drops sizes of payloads that fell out
+// of the window this run.
 func (rt *Runtime) finish(out mapreduce.Output, rec, bg *metrics.Recorder, before core.Stats) *RunResult {
 	rt.runs++
-	return &RunResult{
+	res := &RunResult{
 		Output:     out,
 		Report:     rec.Snapshot(),
 		Background: bg.Snapshot(),
@@ -744,6 +767,8 @@ func (rt *Runtime) finish(out mapreduce.Output, rec, bg *metrics.Recorder, befor
 		SpaceBytes: rt.spaceBytes(),
 		ReadTimeNs: rt.store.Stats().ReadTimeNs,
 	}
+	rt.sizes.prune()
+	return res
 }
 
 // partPayloads extracts partition p's payload from each map result.

@@ -1,0 +1,91 @@
+package sliderrt
+
+import (
+	"reflect"
+	"sync"
+
+	"slider/internal/mapreduce"
+)
+
+// payloadSizes memoizes mapreduce.PayloadBytes per payload identity.
+//
+// Contraction trees hand the same immutable payload maps back run after
+// run: spaceBytes walks every memoized tree node at the end of every run,
+// and each run's root payloads are sized several times (contraction-task
+// accounting, the state-read charge, reduce input bytes). Without a
+// cache, all of that re-measures payloads that cannot have changed —
+// O(window state) of pure recomputation per run. With it, an unchanged
+// payload is measured once and then looked up by the identity of its map.
+//
+// Identity and safety: the cache keys on the payload map's pointer
+// (maps are reference types; the pointer is stable for the map's
+// lifetime) and each entry retains the payload itself, so the address can
+// never be recycled for a different map while its entry is live — a bare
+// uintptr key without the pinned reference could go stale after a GC
+// cycle. Payloads are immutable by the combiner contract (CheckJob), so a
+// cached size never becomes wrong. prune() drops every entry not used
+// since the previous prune, bounding the cache to roughly the live
+// window; the runtime prunes once per run after the whole-state walk.
+//
+// The cache is safe for concurrent use: partition workers size their
+// roots concurrently under forEachPartition.
+type payloadSizes struct {
+	mu   sync.Mutex
+	cur  map[uintptr]sizeEntry
+	seen map[uintptr]struct{}
+}
+
+type sizeEntry struct {
+	p     Payload // pins the map so its address cannot be reused
+	bytes int64
+}
+
+func newPayloadSizes() *payloadSizes {
+	return &payloadSizes{
+		cur:  make(map[uintptr]sizeEntry),
+		seen: make(map[uintptr]struct{}),
+	}
+}
+
+// bytes returns PayloadBytes(job, p), served from the cache when p was
+// measured before, and marks the entry as live for the next prune.
+func (c *payloadSizes) bytes(job *mapreduce.Job, p Payload) int64 {
+	if len(p) == 0 {
+		return 0
+	}
+	ptr := reflect.ValueOf(p).Pointer()
+	c.mu.Lock()
+	if e, ok := c.cur[ptr]; ok {
+		c.seen[ptr] = struct{}{}
+		c.mu.Unlock()
+		return e.bytes
+	}
+	c.mu.Unlock()
+	n := mapreduce.PayloadBytes(job, p)
+	c.mu.Lock()
+	c.cur[ptr] = sizeEntry{p: p, bytes: n}
+	c.seen[ptr] = struct{}{}
+	c.mu.Unlock()
+	return n
+}
+
+// prune evicts entries not used since the previous prune. The runtime
+// calls it after each run's whole-state walk, so everything still
+// reachable from a tree was just marked and survives.
+func (c *payloadSizes) prune() {
+	c.mu.Lock()
+	for ptr := range c.cur {
+		if _, ok := c.seen[ptr]; !ok {
+			delete(c.cur, ptr)
+		}
+	}
+	c.seen = make(map[uintptr]struct{}, len(c.cur))
+	c.mu.Unlock()
+}
+
+// len reports the number of cached payload sizes (for tests).
+func (c *payloadSizes) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cur)
+}

@@ -1,0 +1,99 @@
+package sliderrt
+
+import (
+	"sync"
+	"testing"
+
+	"slider/internal/mapreduce"
+)
+
+// TestPayloadSizesCachesAndPrunes checks the identity-keyed size cache:
+// hits return the memoized measurement, re-measured payloads are marked
+// live, and prune evicts exactly the entries untouched since the last
+// prune.
+func TestPayloadSizesCachesAndPrunes(t *testing.T) {
+	job := wordCountJob()
+	c := newPayloadSizes()
+
+	a := mapreduce.Payload{"alpha": int64(3)}
+	b := mapreduce.Payload{"beta": int64(1), "gamma": int64(2)}
+
+	wantA := mapreduce.PayloadBytes(job, a)
+	wantB := mapreduce.PayloadBytes(job, b)
+	if got := c.bytes(job, a); got != wantA {
+		t.Fatalf("bytes(a) = %d, want %d", got, wantA)
+	}
+	if got := c.bytes(job, b); got != wantB {
+		t.Fatalf("bytes(b) = %d, want %d", got, wantB)
+	}
+	if got := c.bytes(job, a); got != wantA {
+		t.Fatalf("cached bytes(a) = %d, want %d", got, wantA)
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+
+	// Empty payloads are never cached: they cost nothing to size and the
+	// shared sentinel would otherwise pin one entry forever.
+	if got := c.bytes(job, nil); got != 0 {
+		t.Fatalf("bytes(nil) = %d, want 0", got)
+	}
+	if got := c.bytes(job, mapreduce.EmptyPayload()); got != 0 {
+		t.Fatalf("bytes(sentinel) = %d, want 0", got)
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries after empty lookups, want 2", c.len())
+	}
+
+	// First prune: both entries were touched this generation and survive.
+	c.prune()
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries after prune, want 2", c.len())
+	}
+
+	// Touch only a this generation; the next prune must evict b.
+	if got := c.bytes(job, a); got != wantA {
+		t.Fatalf("bytes(a) after prune = %d, want %d", got, wantA)
+	}
+	c.prune()
+	if c.len() != 1 {
+		t.Fatalf("cache holds %d entries after selective prune, want 1", c.len())
+	}
+	if got := c.bytes(job, a); got != wantA {
+		t.Fatalf("surviving bytes(a) = %d, want %d", got, wantA)
+	}
+}
+
+// TestPayloadSizesConcurrent hammers one cache from many goroutines
+// (partition workers size their roots concurrently) under -race.
+func TestPayloadSizesConcurrent(t *testing.T) {
+	job := wordCountJob()
+	c := newPayloadSizes()
+	payloads := make([]mapreduce.Payload, 16)
+	want := make([]int64, len(payloads))
+	for i := range payloads {
+		payloads[i] = mapreduce.Payload{"k": int64(i), "k2": int64(i * i)}
+		want[i] = mapreduce.PayloadBytes(job, payloads[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				for i, p := range payloads {
+					if got := c.bytes(job, p); got != want[i] {
+						panic("wrong cached size")
+					}
+				}
+				if r%10 == 0 {
+					c.prune()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.len() > len(payloads) {
+		t.Fatalf("cache holds %d entries, want ≤ %d", c.len(), len(payloads))
+	}
+}
