@@ -137,8 +137,12 @@ func (c *CoalescingTree[T]) PendingPayload() (T, bool) {
 	return c.pending, true
 }
 
-// Restore reinstates a checkpointed tree state.
+// Restore reinstates a checkpointed tree state. Work counters reset, so a
+// restored tree's Stats (and NodeCount bookkeeping derived from the
+// restored payloads) match a fresh tree restored from the same checkpoint
+// — restoring mid-run must not carry over the pre-crash run's counters.
 func (c *CoalescingTree[T]) Restore(root T, hasRoot bool, pending T, hasPend bool) {
 	c.root, c.hasRoot = root, hasRoot
 	c.pending, c.hasPend = pending, hasPend
+	c.stats = Stats{}
 }

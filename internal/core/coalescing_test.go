@@ -142,3 +142,72 @@ func TestCoalescingNodeCount(t *testing.T) {
 		t.Fatalf("node count after background = %d, want 1", tr.NodeCount())
 	}
 }
+
+// TestCoalescingRestoreResetsStats: a restored tree must be
+// indistinguishable from a fresh tree restored from the same checkpoint —
+// in particular, Restore must not carry over the pre-crash run's work
+// counters or pending-payload bookkeeping (NodeCount).
+func TestCoalescingRestoreResetsStats(t *testing.T) {
+	tr := NewCoalescing(concat)
+	for i := 0; i < 5; i++ {
+		tr.Append([]int{i})
+	}
+	if s := tr.Stats(); s.Merges == 0 {
+		t.Fatal("expected nonzero pre-checkpoint work")
+	}
+	root, hasRoot := tr.Root()
+	pending, hasPend := tr.PendingPayload()
+
+	// In-place restore (the crash-recovery path restores into whatever
+	// tree instance the runtime allocated).
+	tr.Restore(root, hasRoot, pending, hasPend)
+	fresh := NewCoalescing(concat)
+	fresh.Restore(root, hasRoot, pending, hasPend)
+
+	if got, want := tr.Stats(), fresh.Stats(); got != want {
+		t.Fatalf("restored stats %+v != fresh-restored stats %+v", got, want)
+	}
+	if got := tr.Stats(); got != (Stats{}) {
+		t.Fatalf("restore kept pre-crash counters: %+v", got)
+	}
+	if got, want := tr.NodeCount(), fresh.NodeCount(); got != want {
+		t.Fatalf("restored NodeCount %d != fresh-restored %d", got, want)
+	}
+
+	// Both trees must behave identically from here on.
+	a := tr.Append([]int{5})
+	b := fresh.Append([]int{5})
+	wantSeq(t, a, 0, 6)
+	wantSeq(t, b, 0, 6)
+	if tr.Stats() != fresh.Stats() {
+		t.Fatalf("post-restore appends diverge: %+v vs %+v", tr.Stats(), fresh.Stats())
+	}
+}
+
+// TestCoalescingRestoreWithPending restores a checkpoint taken between a
+// split-mode append and its background fold.
+func TestCoalescingRestoreWithPending(t *testing.T) {
+	tr := NewCoalescing(concat)
+	tr.Append([]int{0})
+	tr.AppendSplit([]int{1}) // pending C′, no background yet
+	root, hasRoot := tr.Root()
+	pending, hasPend := tr.PendingPayload()
+	if !hasPend {
+		t.Fatal("expected a pending payload")
+	}
+
+	fresh := NewCoalescing(concat)
+	fresh.Restore(root, hasRoot, pending, hasPend)
+	if fresh.NodeCount() != 2 {
+		t.Fatalf("NodeCount = %d, want 2 (root + pending)", fresh.NodeCount())
+	}
+	fresh.Background()
+	got, ok := fresh.Root()
+	if !ok {
+		t.Fatal("no root after background fold")
+	}
+	wantSeq(t, got, 0, 2)
+	if s := fresh.Stats(); s.Merges != 1 {
+		t.Fatalf("merges = %d, want exactly the background fold", s.Merges)
+	}
+}

@@ -28,6 +28,7 @@ type RotatingTree[T any] struct {
 	preOK  bool // PrepareBackground has run for the current victim
 	preHas bool // pre holds a payload (false only for N == 1)
 	par    int  // worker pool bound for level-parallel recomputation
+	bug    Buggify
 	stats  Stats
 }
 
@@ -151,6 +152,11 @@ func (t *RotatingTree[T]) PrepareBackground() error {
 		}
 		i = (i - 1) / 2
 	}
+	if t.bug&BuggifyRotatingDropSibling != 0 && len(sibs) > 1 {
+		// Fault injection (simulation-harness self-test): elide one
+		// pairwise merge from the pre-combined payload.
+		sibs = sibs[:len(sibs)-1]
+	}
 	// Pre-combine the collected siblings; the balanced parallel
 	// reduction re-associates, which the required associative +
 	// commutative merge permits, with the same merge count.
@@ -251,10 +257,13 @@ func (t *RotatingTree[T]) BucketPayloads() ([]T, bool) {
 
 // RestoreAt reinstates a checkpointed window: the buckets in leaf-position
 // order plus the next victim position. The internal nodes are recombined.
+// Work counters restart from zero (plus the rebuild itself), so a restored
+// tree's Stats match a fresh tree restored from the same checkpoint.
 func (t *RotatingTree[T]) RestoreAt(buckets []T, victim int) error {
 	if victim < 0 || victim >= t.n {
 		return ErrWindowNotFull
 	}
+	t.stats = Stats{}
 	if err := t.Init(buckets); err != nil {
 		return err
 	}

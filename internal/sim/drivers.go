@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"fmt"
+
+	"slider/internal/core"
+)
+
+// pay is the tree-layer payload: the ordered sequence of leaf IDs below a
+// node. Merging is concatenation into a fresh slice (pure and alias-free,
+// as the parallel engine requires), so the root payload is the exact leaf
+// sequence the tree believes is in the window — the strongest possible
+// differential signal against the from-scratch oracle.
+type pay []uint64
+
+// pmerge concatenates two payloads into a fresh slice.
+func pmerge(a, b pay) pay {
+	out := make(pay, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// pfp is an order-sensitive payload fingerprint.
+func pfp(p pay) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range p {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// singletons wraps ids into one payload each.
+func singletons(ids []uint64) []pay {
+	out := make([]pay, len(ids))
+	for i, id := range ids {
+		out[i] = pay{id}
+	}
+	return out
+}
+
+// items wraps ids into identity-carrying leaves.
+func items(ids []uint64) []core.Item[pay] {
+	out := make([]core.Item[pay], len(ids))
+	for i, id := range ids {
+		out[i] = core.Item[pay]{ID: id, Payload: pay{id}}
+	}
+	return out
+}
+
+// treeDriver adapts one contraction tree to the harness: a uniform init /
+// slide / observe / checkpoint surface. Drivers are pure adapters — all
+// window logic lives in the tree under test.
+type treeDriver interface {
+	// init performs the initial run over the given leaf IDs.
+	init(ids []uint64) error
+	// slide applies one OpSlide (drop/add semantics per kind).
+	slide(drop int, ids []uint64) error
+	// root returns the payload the job's final reduce would consume.
+	root() (pay, bool)
+	// stats returns the tree's cumulative work counters.
+	stats() core.Stats
+	// fingerprint hashes the materialized structure deterministically.
+	fingerprint() uint64
+	// checkpoint captures restorable state; restore reinstates it (on a
+	// fresh driver, this is the crash-recovery path).
+	checkpoint() any
+	restore(snap any) error
+}
+
+// newTreeDriver builds the driver for a kind at the given intra-tree
+// parallelism, with optional fault injection.
+func newTreeDriver(kind Kind, par int, bug core.Buggify) treeDriver {
+	switch kind {
+	case Folding:
+		return &foldDriver{par: par}
+	case Randomized:
+		return &rndDriver{par: par}
+	case Rotating, RotatingSplit:
+		return &rotDriver{par: par, split: kind == RotatingSplit, bug: bug}
+	case Coalescing, CoalescingSplit:
+		return &coalDriver{split: kind == CoalescingSplit}
+	case Strawman:
+		return &strawDriver{par: par}
+	default:
+		panic(fmt.Sprintf("sim: unknown kind %v", kind))
+	}
+}
+
+// --- folding -----------------------------------------------------------
+
+type foldDriver struct {
+	t   *core.FoldingTree[pay]
+	par int
+}
+
+func (d *foldDriver) newTree() *core.FoldingTree[pay] {
+	return core.NewFolding(pmerge, core.WithParallelism[pay](d.par))
+}
+
+func (d *foldDriver) init(ids []uint64) error {
+	d.t = d.newTree()
+	d.t.Init(singletons(ids))
+	return nil
+}
+
+func (d *foldDriver) slide(drop int, ids []uint64) error {
+	return d.t.Slide(drop, singletons(ids))
+}
+
+func (d *foldDriver) root() (pay, bool)   { return d.t.Root() }
+func (d *foldDriver) stats() core.Stats   { return d.t.Stats() }
+func (d *foldDriver) fingerprint() uint64 { return d.t.FingerprintWith(pfp) }
+func (d *foldDriver) checkpoint() any     { return d.t.Payloads() }
+func (d *foldDriver) restore(snap any) error {
+	// Folding trees restore by re-initializing a fresh tree from the
+	// persisted leaf payloads, exactly as sliderrt's Restore does.
+	d.t = d.newTree()
+	d.t.Init(snap.([]pay))
+	return nil
+}
+
+// --- randomized folding ------------------------------------------------
+
+// rndSeed is the coin-flip seed every randomized driver uses: it must be
+// identical across replicas and restores (in the runtime it is part of
+// the checkpointed configuration), including fresh drivers restored from
+// a checkpoint without ever seeing init.
+const rndSeed = 0xc0ffee
+
+type rndDriver struct {
+	t   *core.RandomizedFoldingTree[pay]
+	par int
+}
+
+func (d *rndDriver) newTree() *core.RandomizedFoldingTree[pay] {
+	t := core.NewRandomizedFolding(pmerge, rndSeed)
+	t.SetParallelism(d.par)
+	return t
+}
+
+func (d *rndDriver) init(ids []uint64) error {
+	d.t = d.newTree()
+	d.t.Init(items(ids))
+	return nil
+}
+
+func (d *rndDriver) slide(drop int, ids []uint64) error {
+	return d.t.Slide(drop, items(ids))
+}
+
+func (d *rndDriver) root() (pay, bool)   { return d.t.Root() }
+func (d *rndDriver) stats() core.Stats   { return d.t.Stats() }
+func (d *rndDriver) fingerprint() uint64 { return d.t.FingerprintWith(pfp) }
+func (d *rndDriver) checkpoint() any     { return d.t.Items() }
+func (d *rndDriver) restore(snap any) error {
+	d.t = d.newTree()
+	d.t.Init(snap.([]core.Item[pay]))
+	return nil
+}
+
+// --- rotating ----------------------------------------------------------
+
+// rotSnap is a rotating checkpoint: buckets in leaf-position order plus
+// the rotation cursor.
+type rotSnap struct {
+	buckets []pay
+	victim  int
+	n       int
+}
+
+type rotDriver struct {
+	t     *core.RotatingTree[pay]
+	n     int
+	par   int
+	split bool
+	bug   core.Buggify
+	// fgRoot is the foreground result of the last split-mode slide; the
+	// oracle checks it because that is what the job would have emitted.
+	fgRoot pay
+	hasFg  bool
+}
+
+func (d *rotDriver) newTree(n int) *core.RotatingTree[pay] {
+	t := core.NewRotating(pmerge, n)
+	t.SetParallelism(d.par)
+	t.SetBuggify(d.bug)
+	return t
+}
+
+func (d *rotDriver) init(ids []uint64) error {
+	d.n = len(ids)
+	d.t = d.newTree(d.n)
+	if err := d.t.Init(singletons(ids)); err != nil {
+		return err
+	}
+	d.hasFg = false
+	if d.split {
+		return d.t.PrepareBackground()
+	}
+	return nil
+}
+
+func (d *rotDriver) slide(drop int, ids []uint64) error {
+	if drop != len(ids) {
+		return fmt.Errorf("sim: rotating slide needs drop == add (got %d, %d)", drop, len(ids))
+	}
+	buckets := singletons(ids)
+	if d.split && len(buckets) == 1 {
+		// Split processing: the foreground merge against the
+		// pre-combined payload I is the run's output; the background
+		// step installs the bucket and prepares the next slide.
+		fg, err := d.t.RotateForeground(buckets[0])
+		if err != nil {
+			return err
+		}
+		d.fgRoot, d.hasFg = fg, true
+		return d.t.Background(buckets[0])
+	}
+	d.hasFg = false
+	for _, b := range buckets {
+		if err := d.t.Rotate(b); err != nil {
+			return err
+		}
+	}
+	if d.split {
+		// Multi-bucket slides fall back to in-place rotation; re-prepare
+		// so the next single-bucket slide takes the foreground path.
+		return d.t.PrepareBackground()
+	}
+	return nil
+}
+
+func (d *rotDriver) root() (pay, bool) {
+	if d.hasFg {
+		return d.fgRoot, true
+	}
+	return d.t.Root()
+}
+
+func (d *rotDriver) stats() core.Stats   { return d.t.Stats() }
+func (d *rotDriver) fingerprint() uint64 { return d.t.FingerprintWith(pfp) }
+
+func (d *rotDriver) checkpoint() any {
+	buckets, _ := d.t.BucketPayloads()
+	return rotSnap{buckets: buckets, victim: d.t.Victim(), n: d.n}
+}
+
+func (d *rotDriver) restore(snap any) error {
+	s := snap.(rotSnap)
+	if d.t == nil {
+		d.n = s.n
+		d.t = d.newTree(s.n)
+	}
+	if err := d.t.RestoreAt(s.buckets, s.victim); err != nil {
+		return err
+	}
+	d.hasFg = false
+	if d.split {
+		return d.t.PrepareBackground()
+	}
+	return nil
+}
+
+// --- coalescing --------------------------------------------------------
+
+// coalSnap is a coalescing checkpoint: the root and any pending payload.
+type coalSnap struct {
+	root, pending    pay
+	hasRoot, hasPend bool
+}
+
+type coalDriver struct {
+	t     *core.CoalescingTree[pay]
+	split bool
+	// union is the payload list the final reduce would consume after a
+	// split-mode append (previous root + C′, uncombined).
+	union []pay
+}
+
+func (d *coalDriver) init(ids []uint64) error {
+	d.t = core.NewCoalescing(pmerge)
+	d.union = nil
+	d.slideInto(ids)
+	return nil
+}
+
+// slideInto folds the new leaves into one C′ client-side (as the runtime
+// does for newly mapped splits) and appends it.
+func (d *coalDriver) slideInto(ids []uint64) {
+	c := make(pay, len(ids))
+	copy(c, ids)
+	if d.split {
+		d.union = d.t.AppendSplit(c)
+		d.t.Background()
+	} else {
+		d.t.Append(c)
+		d.union = nil
+	}
+}
+
+func (d *coalDriver) slide(drop int, ids []uint64) error {
+	if drop != 0 {
+		return fmt.Errorf("sim: coalescing cannot drop (drop=%d)", drop)
+	}
+	d.slideInto(ids)
+	return nil
+}
+
+func (d *coalDriver) root() (pay, bool) {
+	if d.union != nil {
+		// The reduce consumes the union of the previous root and C′;
+		// concatenating reproduces the window sequence.
+		var out pay
+		for _, p := range d.union {
+			out = append(out, p...)
+		}
+		return out, true
+	}
+	return d.t.Root()
+}
+
+func (d *coalDriver) stats() core.Stats   { return d.t.Stats() }
+func (d *coalDriver) fingerprint() uint64 { return d.t.FingerprintWith(pfp) }
+
+func (d *coalDriver) checkpoint() any {
+	var s coalSnap
+	s.root, s.hasRoot = d.t.Root()
+	s.pending, s.hasPend = d.t.PendingPayload()
+	return s
+}
+
+func (d *coalDriver) restore(snap any) error {
+	s := snap.(coalSnap)
+	if d.t == nil {
+		d.t = core.NewCoalescing(pmerge)
+	}
+	d.t.Restore(s.root, s.hasRoot, s.pending, s.hasPend)
+	d.union = nil
+	return nil
+}
+
+// --- strawman ----------------------------------------------------------
+
+type strawDriver struct {
+	t      *core.StrawmanTree[pay]
+	leaves []core.Item[pay]
+	par    int
+}
+
+func (d *strawDriver) newTree() *core.StrawmanTree[pay] {
+	t := core.NewStrawman(pmerge)
+	t.SetParallelism(d.par)
+	return t
+}
+
+func (d *strawDriver) init(ids []uint64) error {
+	d.t = d.newTree()
+	d.leaves = items(ids)
+	d.t.Build(d.leaves)
+	return nil
+}
+
+func (d *strawDriver) slide(drop int, ids []uint64) error {
+	if drop > len(d.leaves) {
+		return core.ErrUnderflow
+	}
+	d.leaves = append(d.leaves[drop:], items(ids)...)
+	d.t.Build(d.leaves)
+	return nil
+}
+
+func (d *strawDriver) root() (pay, bool) {
+	p, ok := d.t.Root()
+	if !ok && len(d.leaves) == 0 {
+		return nil, false
+	}
+	return p, ok
+}
+
+func (d *strawDriver) stats() core.Stats   { return d.t.Stats() }
+func (d *strawDriver) fingerprint() uint64 { return d.t.FingerprintWith(pfp) }
+
+func (d *strawDriver) checkpoint() any {
+	out := make([]core.Item[pay], len(d.leaves))
+	copy(out, d.leaves)
+	return out
+}
+
+func (d *strawDriver) restore(snap any) error {
+	d.t = d.newTree()
+	d.leaves = append([]core.Item[pay](nil), snap.([]core.Item[pay])...)
+	d.t.Build(d.leaves)
+	return nil
+}

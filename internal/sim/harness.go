@@ -1,0 +1,329 @@
+// Package sim is a seeded, fully deterministic simulation harness for the
+// contraction-tree family and the sliderrt runtime (FoundationDB-style
+// simulation testing; see DESIGN.md §10).
+//
+// A Trace is a randomized but reproducible window schedule — appends,
+// variable-width slides, wild width fluctuation, checkpoint/restore
+// cycles, memo fail/recover events, and GC pressure. Run drives the trace
+// through replicas at parallelism 1/4/8 and checks, after every step:
+//
+//   - the incremental root equals a from-scratch recomputation oracle,
+//   - fingerprints and work counters are identical across parallelism
+//     levels,
+//   - delta-proportional work bounds hold (merge count ≤ c·(delta + log
+//     window) with a generous constant),
+//   - restored state matches a freshly restored copy (fingerprint and
+//     Stats parity).
+//
+// Failures replay from a single seed (ReplayLine) and shrink to a minimal
+// reproducer printed as a copy-pasteable Go test (Shrink, FormatRepro).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"slider/internal/core"
+)
+
+// Layer selects which implementation stack a run drives.
+type Layer int
+
+// Harness layers.
+const (
+	// LayerTree drives the core contraction tree directly.
+	LayerTree Layer = iota
+	// LayerRuntime drives the full sliderrt runtime (map tasks, memo
+	// store, checkpoint codec) under the equivalent configuration.
+	LayerRuntime
+)
+
+// String returns the Go identifier of the layer (used by FormatRepro).
+func (l Layer) String() string {
+	if l == LayerRuntime {
+		return "LayerRuntime"
+	}
+	return "LayerTree"
+}
+
+// Options tunes a run.
+type Options struct {
+	// Layer selects the tree layer (default) or the full runtime.
+	Layer Layer
+	// Pars are the parallelism levels run in lockstep and compared;
+	// defaults to 1, 4, 8.
+	Pars []int
+	// Buggify enables fault-injection points in the trees under test
+	// (the harness's own acceptance tests only).
+	Buggify core.Buggify
+	// NoBounds disables the delta-proportional work-bound checks.
+	NoBounds bool
+}
+
+func (o Options) pars() []int {
+	if len(o.Pars) > 0 {
+		return o.Pars
+	}
+	return []int{1, 4, 8}
+}
+
+// CheckError reports a failed check: which step of which trace, which
+// check, and a replay recipe. Step −1 is the initial run.
+type CheckError struct {
+	Trace Trace
+	Step  int
+	Check string
+	Msg   string
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("sim: %s check failed at step %d of %s: %s\n%s",
+		e.Check, e.Step, e.Trace, e.Msg, ReplayLine(e.Trace))
+}
+
+// Run executes the trace under the options and returns nil when every
+// check passes, or a *CheckError naming the first failure.
+func Run(tr Trace, opt Options) error {
+	if opt.Layer == LayerRuntime {
+		return runRuntime(tr, opt)
+	}
+	return runTree(tr, opt)
+}
+
+// runTree drives the trace through one tree driver per parallelism level.
+func runTree(tr Trace, opt Options) error {
+	pars := opt.pars()
+	drivers := make([]treeDriver, len(pars))
+	for i, par := range pars {
+		drivers[i] = newTreeDriver(tr.Kind, par, opt.Buggify)
+	}
+	fail := func(step int, check, format string, args ...any) *CheckError {
+		return &CheckError{Trace: tr, Step: step, Check: check, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	var window []uint64
+	var nextID uint64
+	takeIDs := func(n int) []uint64 {
+		ids := make([]uint64, n)
+		for i := range ids {
+			ids[i] = nextID
+			nextID++
+		}
+		return ids
+	}
+
+	initIDs := takeIDs(tr.Initial)
+	for _, d := range drivers {
+		if err := d.init(initIDs); err != nil {
+			return fail(-1, "init", "%v", err)
+		}
+	}
+	window = initIDs
+	if err := checkStep(tr, -1, drivers, pars, window); err != nil {
+		return err
+	}
+
+	prevStats := drivers[0].stats()
+	for step, op := range tr.Ops {
+		switch op.Kind {
+		case OpSlide:
+			drop, add := clampSlide(tr.Kind, op, len(window))
+			ids := takeIDs(add)
+			for _, d := range drivers {
+				if err := d.slide(drop, ids); err != nil {
+					return fail(step, "slide", "drop=%d add=%d: %v", drop, add, err)
+				}
+			}
+			window = append(window[drop:], ids...)
+			if err := checkStep(tr, step, drivers, pars, window); err != nil {
+				return err
+			}
+			if !opt.NoBounds {
+				cur := drivers[0].stats()
+				merges := cur.Merges - prevStats.Merges
+				if limit := mergeBound(tr.Kind, drop, add, len(window)); merges > limit {
+					return fail(step, "work-bound",
+						"slide drop=%d add=%d window=%d performed %d merges, bound %d",
+						drop, add, len(window), merges, limit)
+				}
+			}
+		case OpCheckpoint:
+			for i, d := range drivers {
+				snap := d.checkpoint()
+				if err := d.restore(snap); err != nil {
+					return fail(step, "restore", "in-place: %v", err)
+				}
+				fresh := newTreeDriver(tr.Kind, pars[i], opt.Buggify)
+				if err := fresh.restore(snap); err != nil {
+					return fail(step, "restore", "fresh: %v", err)
+				}
+				// A restored tree must be indistinguishable from a tree
+				// freshly restored from the same checkpoint: same
+				// structure, same work counters.
+				if got, want := d.fingerprint(), fresh.fingerprint(); got != want {
+					return fail(step, "restore-fingerprint",
+						"par=%d in-place restore fingerprint %#x != fresh restore %#x", pars[i], got, want)
+				}
+				if got, want := d.stats(), fresh.stats(); got != want {
+					return fail(step, "restore-stats",
+						"par=%d in-place restore stats %+v != fresh restore %+v", pars[i], got, want)
+				}
+			}
+			if err := checkStep(tr, step, drivers, pars, window); err != nil {
+				return err
+			}
+		case OpFailNode, OpRecoverNode, OpGCPressure:
+			// Memo-layer events; nothing to do at the tree layer.
+		}
+		prevStats = drivers[0].stats()
+	}
+	return nil
+}
+
+// clampSlide normalizes a slide against the current model window so that
+// shrunken traces (whose preceding ops were removed) stay legal.
+func clampSlide(kind Kind, op Op, live int) (drop, add int) {
+	drop, add = op.Drop, op.Add
+	switch {
+	case kind.fixedWidth():
+		if drop > live {
+			drop = live
+		}
+		add = drop // fixed-width: drop == add always
+	case kind.appendOnly():
+		drop = 0
+		if add < 1 {
+			add = 1
+		}
+	default:
+		if drop > live {
+			drop = live
+		}
+		if drop < 0 {
+			drop = 0
+		}
+		if add < 0 {
+			add = 0
+		}
+		if drop == 0 && add == 0 {
+			add = 1
+		}
+	}
+	return drop, add
+}
+
+// checkStep verifies the root against the from-scratch oracle and the
+// cross-parallelism parity of fingerprints and work counters.
+func checkStep(tr Trace, step int, drivers []treeDriver, pars []int, window []uint64) error {
+	if err := checkOracle(tr, step, drivers[0], window); err != nil {
+		return err
+	}
+	fp0 := drivers[0].fingerprint()
+	st0 := drivers[0].stats()
+	for i := 1; i < len(drivers); i++ {
+		if fp := drivers[i].fingerprint(); fp != fp0 {
+			return &CheckError{Trace: tr, Step: step, Check: "par-fingerprint",
+				Msg: fmt.Sprintf("par=%d fingerprint %#x != par=%d fingerprint %#x", pars[i], fp, pars[0], fp0)}
+		}
+		if st := drivers[i].stats(); st != st0 {
+			return &CheckError{Trace: tr, Step: step, Check: "par-stats",
+				Msg: fmt.Sprintf("par=%d stats %+v != par=%d stats %+v", pars[i], st, pars[0], st0)}
+		}
+	}
+	return nil
+}
+
+// oracleRoot recomputes the window's combined payload from scratch — an
+// independent left fold over singleton leaf payloads, sharing no code
+// with the incremental trees.
+func oracleRoot(window []uint64) pay {
+	if len(window) == 0 {
+		return nil
+	}
+	acc := pay{window[0]}
+	for _, id := range window[1:] {
+		acc = pmerge(acc, pay{id})
+	}
+	return acc
+}
+
+// checkOracle compares the driver's root against the from-scratch oracle.
+// Rotating trees reorder bucket age relative to tree position (their
+// merge must be commutative), so their root is compared as a multiset;
+// every other tree must reproduce the window sequence exactly.
+func checkOracle(tr Trace, step int, d treeDriver, window []uint64) error {
+	want := oracleRoot(window)
+	got, ok := d.root()
+	if len(window) == 0 {
+		if ok {
+			return &CheckError{Trace: tr, Step: step, Check: "oracle",
+				Msg: fmt.Sprintf("window is empty but root is %v", got)}
+		}
+		return nil
+	}
+	if !ok {
+		return &CheckError{Trace: tr, Step: step, Check: "oracle",
+			Msg: fmt.Sprintf("window has %d items but tree reports no root", len(window))}
+	}
+	g, w := got, want
+	if tr.Kind.fixedWidth() {
+		g = append(pay(nil), got...)
+		w = append(pay(nil), want...)
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	}
+	if len(g) != len(w) {
+		return &CheckError{Trace: tr, Step: step, Check: "oracle",
+			Msg: fmt.Sprintf("root has %d items, from-scratch oracle has %d", len(g), len(w))}
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			return &CheckError{Trace: tr, Step: step, Check: "oracle",
+				Msg: fmt.Sprintf("root diverges from from-scratch oracle at position %d: got %d, want %d", i, g[i], w[i])}
+		}
+	}
+	return nil
+}
+
+// mergeBound returns the maximum merges one slide may perform: the
+// paper's delta-proportional work claim, c·(delta + log window) with a
+// generous constant. The strawman baseline is exempt (its work is
+// Θ(window) by design — that is what Figure 8 measures).
+func mergeBound(kind Kind, drop, add, liveAfter int) int64 {
+	delta := int64(drop + add)
+	h := int64(ceilLog2(liveAfter+2) + 2)
+	switch kind {
+	case Coalescing, CoalescingSplit:
+		// One append (plus at most one pending fold) per slide.
+		return 8
+	case Rotating, RotatingSplit:
+		// One root path per rotated bucket, plus split pre-processing.
+		return 8 * (delta + 1) * h
+	case Randomized:
+		// Expected O(log) per changed path; generous constant for the
+		// probabilistic grouping.
+		return 8*(delta+1)*h + 32
+	case Folding:
+		bound := 8*(delta+1)*h + 16
+		if 2*drop >= liveAfter+drop-add {
+			// Drastic shrink: the §3.2 fallback may rebuild from
+			// scratch, costing O(live).
+			bound += int64(2 * (liveAfter + 1))
+		}
+		return bound
+	default: // Strawman
+		return 1 << 62
+	}
+}
+
+// ceilLog2 mirrors core's helper (kept local; core does not export it).
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := 0
+	for size := 1; size < n; size <<= 1 {
+		h++
+	}
+	return h
+}

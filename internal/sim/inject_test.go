@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"slider/internal/core"
+)
+
+// TestInjectedBugIsCaughtAndShrinks is the harness's acceptance test
+// (ISSUE acceptance criterion): inject a known bug — drop one pairwise
+// merge in rotating split processing via the BuggifyRotatingDropSibling
+// fault point — and demonstrate that
+//
+//  1. the harness catches it within 1000 trace steps,
+//  2. the failing trace shrinks to a reproducer of ≤ 20 steps,
+//  3. the reproducer prints as a copy-pasteable Go test, and
+//  4. reverting the injection makes the same trace pass.
+func TestInjectedBugIsCaughtAndShrinks(t *testing.T) {
+	buggy := Options{Buggify: core.BuggifyRotatingDropSibling}
+
+	var failing Trace
+	var firstErr error
+	for _, seed := range []uint64{1, 2, 3, 4, 5, 6, 7, 8} {
+		tr := Generate(RotatingSplit, seed, 1000)
+		if err := Run(tr, buggy); err != nil {
+			failing, firstErr = tr, err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("injected bug (dropped pairwise merge in rotating split processing) was not caught within 1000 steps on any seed")
+	}
+	ce, ok := firstErr.(*CheckError)
+	if !ok {
+		t.Fatalf("expected *CheckError, got %T: %v", firstErr, firstErr)
+	}
+	if ce.Step >= 1000 {
+		t.Fatalf("bug caught only at step %d", ce.Step)
+	}
+	t.Logf("caught at step %d: %s check\n%s", ce.Step, ce.Check, ReplayLine(failing))
+
+	min := Shrink(failing, buggy, 0)
+	if err := Run(min, buggy); err == nil {
+		t.Fatal("shrunken trace no longer fails")
+	}
+	if len(min.Ops) > 20 {
+		t.Fatalf("shrunken reproducer has %d steps, want ≤ 20", len(min.Ops))
+	}
+	t.Logf("shrunk %d ops → %d ops", len(failing.Ops), len(min.Ops))
+
+	repro := FormatRepro("RotatingSplitDroppedMergeRepro", min, buggy)
+	for _, want := range []string{"func Test", "sim.Trace{", "sim.Run(tr, opt)"} {
+		if !strings.Contains(repro, want) {
+			t.Fatalf("repro is not a pasteable Go test (missing %q):\n%s", want, repro)
+		}
+	}
+	t.Logf("minimal reproducer:\n%s", repro)
+
+	// Revert the injection: the exact same minimal trace must pass on the
+	// unmodified tree.
+	if err := Run(min, Options{}); err != nil {
+		t.Fatalf("trace fails even without the injected bug — harness found a real bug?\n%v", err)
+	}
+}
+
+// TestBuggifyOffByDefault: the fault point must be inert unless armed.
+func TestBuggifyOffByDefault(t *testing.T) {
+	tr := Generate(RotatingSplit, 11, 300)
+	if err := Run(tr, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"slider/internal/mapreduce"
+	"slider/internal/memo"
+	"slider/internal/sliderrt"
+)
+
+// runtimeBucketSplits is w, the splits per bucket used by fixed-width
+// runtime traces (trace slides count buckets; the runtime sees k·w
+// splits).
+const runtimeBucketSplits = 2
+
+// simJob is the wordcount job the runtime layer drives: associative,
+// commutative, and cheap, with a small vocabulary so keys collide across
+// splits and every merge exercises the combiner.
+func simJob() *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:       "sim-wordcount",
+		Partitions: 3,
+		Map: func(rec mapreduce.Record, emit mapreduce.Emit) error {
+			line, ok := rec.(string)
+			if !ok {
+				return fmt.Errorf("sim: record %T is not a string", rec)
+			}
+			for _, w := range strings.Fields(line) {
+				emit(w, int64(1))
+			}
+			return nil
+		},
+		Combine: func(_ string, values []mapreduce.Value) mapreduce.Value {
+			var sum int64
+			for _, v := range values {
+				sum += v.(int64)
+			}
+			return sum
+		},
+		Reduce: func(_ string, values []mapreduce.Value) mapreduce.Value {
+			var sum int64
+			for _, v := range values {
+				sum += v.(int64)
+			}
+			return sum
+		},
+		Commutative: true,
+	}
+}
+
+// mix64 is the split-content generator's avalanche hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// genSplit deterministically derives split #id's content from the trace
+// seed: three lines of four words over an eight-word vocabulary.
+func genSplit(seed, id uint64) mapreduce.Split {
+	h := mix64(seed ^ mix64(id+1))
+	records := make([]mapreduce.Record, 3)
+	for r := range records {
+		var sb strings.Builder
+		for w := 0; w < 4; w++ {
+			h = mix64(h)
+			sb.WriteString("w")
+			sb.WriteString(strconv.Itoa(int(h % 8)))
+			sb.WriteByte(' ')
+		}
+		records[r] = sb.String()
+	}
+	return mapreduce.Split{ID: "sim-" + strconv.FormatUint(id, 10), Records: records}
+}
+
+// rtReplica is one runtime instance of the lockstep ensemble.
+type rtReplica struct {
+	rt    *sliderrt.Runtime
+	cfg   sliderrt.Config
+	gcAll *bool // toggled by OpGCPressure, read by the GC policy
+}
+
+// runtimeConfig maps a trace kind onto the equivalent runtime
+// configuration at the given parallelism.
+func runtimeConfig(tr Trace, par int, gcAll *bool) (sliderrt.Config, error) {
+	cfg := sliderrt.Config{
+		Parallelism: par,
+		Seed:        tr.Seed | 1,
+		Memo:        memoConfig(),
+		GCPolicy: func(string, uint64, uint64, int64) bool {
+			return *gcAll
+		},
+	}
+	switch tr.Kind {
+	case Folding:
+		cfg.Mode = sliderrt.Variable
+	case Randomized:
+		cfg.Mode = sliderrt.Variable
+		cfg.Randomized = true
+	case Rotating, RotatingSplit:
+		cfg.Mode = sliderrt.Fixed
+		cfg.BucketSplits = runtimeBucketSplits
+		cfg.WindowBuckets = tr.Initial
+		cfg.SplitProcessing = tr.Kind == RotatingSplit
+	case Coalescing, CoalescingSplit:
+		cfg.Mode = sliderrt.Append
+		cfg.SplitProcessing = tr.Kind == CoalescingSplit
+	case Strawman:
+		cfg.Mode = sliderrt.Variable
+		cfg.Engine = sliderrt.Strawman
+	default:
+		return cfg, fmt.Errorf("sim: unknown kind %v", tr.Kind)
+	}
+	return cfg, nil
+}
+
+func memoConfig() memo.Config {
+	cfg := memo.DefaultConfig()
+	cfg.Nodes = simNodes
+	return cfg
+}
+
+// runRuntime drives the trace through full sliderrt runtimes at each
+// parallelism level, checking every run's output against a from-scratch
+// MapReduce execution over the live window, cross-replica output and
+// work-counter parity, delta-proportional work bounds, and checkpoint
+// round-trips through the real persist codec — while memo nodes fail,
+// recover, and the GC evicts under pressure.
+func runRuntime(tr Trace, opt Options) error {
+	job := simJob()
+	pars := opt.pars()
+	fail := func(step int, check, format string, args ...any) *CheckError {
+		return &CheckError{Trace: tr, Step: step, Check: check, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	reps := make([]*rtReplica, len(pars))
+	for i, par := range pars {
+		gcAll := new(bool)
+		cfg, err := runtimeConfig(tr, par, gcAll)
+		if err != nil {
+			return fail(-1, "config", "%v", err)
+		}
+		rt, err := sliderrt.New(simJob(), cfg)
+		if err != nil {
+			return fail(-1, "config", "par=%d: %v", par, err)
+		}
+		reps[i] = &rtReplica{rt: rt, cfg: cfg, gcAll: gcAll}
+	}
+
+	// splitWidth converts trace units (buckets for fixed kinds, splits
+	// otherwise) into splits.
+	splitWidth := 1
+	if tr.Kind.fixedWidth() {
+		splitWidth = runtimeBucketSplits
+	}
+
+	var window []mapreduce.Split
+	var nextID uint64
+	takeSplits := func(n int) []mapreduce.Split {
+		out := make([]mapreduce.Split, n)
+		for i := range out {
+			out[i] = genSplit(tr.Seed, nextID)
+			nextID++
+		}
+		return out
+	}
+
+	initial := takeSplits(tr.Initial * splitWidth)
+	window = initial
+	results := make([]*sliderrt.RunResult, len(reps))
+	for i, rep := range reps {
+		res, err := rep.rt.Initial(initial)
+		if err != nil {
+			return fail(-1, "initial", "par=%d: %v", pars[i], err)
+		}
+		results[i] = res
+	}
+	if err := checkRuntimeStep(tr, -1, job, pars, results, window); err != nil {
+		return err
+	}
+
+	for step, op := range tr.Ops {
+		switch op.Kind {
+		case OpSlide:
+			drop, add := clampSlide(tr.Kind, op, len(window)/splitWidth)
+			if drop == 0 && add == 0 {
+				continue
+			}
+			dropSplits, addSplits := drop*splitWidth, add*splitWidth
+			adds := takeSplits(addSplits)
+			for i, rep := range reps {
+				res, err := rep.rt.Advance(dropSplits, adds)
+				if err != nil {
+					return fail(step, "advance", "par=%d drop=%d add=%d: %v", pars[i], dropSplits, addSplits, err)
+				}
+				results[i] = res
+				*rep.gcAll = false // GC pressure applies to one slide
+			}
+			window = append(window[dropSplits:], adds...)
+			if err := checkRuntimeStep(tr, step, job, pars, results, window); err != nil {
+				return err
+			}
+			if !opt.NoBounds && tr.Kind != Strawman {
+				liveAfter := len(window) / splitWidth
+				merges := results[0].TreeStats.Merges + results[0].TreeStatsBackground.Merges
+				// TreeStats aggregates one contraction tree per reduce
+				// partition, so the per-tree bound scales by Partitions.
+				limit := int64(job.Partitions) * mergeBound(tr.Kind, drop, add, liveAfter)
+				if merges > limit {
+					return fail(step, "work-bound",
+						"advance drop=%d add=%d window=%d performed %d merges, bound %d",
+						drop, add, liveAfter, merges, limit)
+				}
+			}
+		case OpCheckpoint:
+			for i, rep := range reps {
+				var buf bytes.Buffer
+				if err := rep.rt.Checkpoint(&buf); err != nil {
+					return fail(step, "checkpoint", "par=%d: %v", pars[i], err)
+				}
+				restored, err := sliderrt.Restore(simJob(), rep.cfg, bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					return fail(step, "restore", "par=%d: %v", pars[i], err)
+				}
+				if restored.Live() != rep.rt.Live() || restored.WindowLo() != rep.rt.WindowLo() {
+					return fail(step, "restore", "par=%d window bookkeeping: live %d/%d lo %d/%d",
+						pars[i], restored.Live(), rep.rt.Live(), restored.WindowLo(), rep.rt.WindowLo())
+				}
+				rep.rt = restored // continue from the restored state
+			}
+		case OpFailNode:
+			for _, rep := range reps {
+				rep.rt.Store().FailNode(op.Node)
+			}
+		case OpRecoverNode:
+			for _, rep := range reps {
+				rep.rt.Store().RecoverNode(op.Node)
+			}
+		case OpGCPressure:
+			for _, rep := range reps {
+				*rep.gcAll = true
+			}
+		}
+	}
+	return nil
+}
+
+// checkRuntimeStep verifies one run's results: the output equals a
+// from-scratch MapReduce execution over the live window (the paper's
+// exact-answer claim), and outputs and contraction work counters agree
+// across parallelism levels.
+func checkRuntimeStep(tr Trace, step int, job *mapreduce.Job, pars []int, results []*sliderrt.RunResult, window []mapreduce.Split) error {
+	want, err := mapreduce.RunScratch(job, window, 0, nil)
+	if err != nil {
+		return &CheckError{Trace: tr, Step: step, Check: "oracle", Msg: fmt.Sprintf("from-scratch run: %v", err)}
+	}
+	if msg := diffOutputs(results[0].Output, want); msg != "" {
+		return &CheckError{Trace: tr, Step: step, Check: "oracle",
+			Msg: fmt.Sprintf("par=%d output diverges from from-scratch oracle: %s", pars[0], msg)}
+	}
+	for i := 1; i < len(results); i++ {
+		if msg := diffOutputs(results[i].Output, results[0].Output); msg != "" {
+			return &CheckError{Trace: tr, Step: step, Check: "par-output",
+				Msg: fmt.Sprintf("par=%d output != par=%d output: %s", pars[i], pars[0], msg)}
+		}
+		if results[i].TreeStats != results[0].TreeStats {
+			return &CheckError{Trace: tr, Step: step, Check: "par-stats",
+				Msg: fmt.Sprintf("par=%d TreeStats %+v != par=%d %+v",
+					pars[i], results[i].TreeStats, pars[0], results[0].TreeStats)}
+		}
+		if results[i].TreeStatsBackground != results[0].TreeStatsBackground {
+			return &CheckError{Trace: tr, Step: step, Check: "par-stats",
+				Msg: fmt.Sprintf("par=%d TreeStatsBackground %+v != par=%d %+v",
+					pars[i], results[i].TreeStatsBackground, pars[0], results[0].TreeStatsBackground)}
+		}
+	}
+	return nil
+}
+
+// diffOutputs returns "" when the outputs are identical, else a
+// description of the first difference.
+func diffOutputs(got, want mapreduce.Output) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%d keys, want %d", len(got), len(want))
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			return fmt.Sprintf("missing key %q", k)
+		}
+		if gv.(int64) != wv.(int64) {
+			return fmt.Sprintf("key %q: got %d, want %d", k, gv.(int64), wv.(int64))
+		}
+	}
+	return ""
+}

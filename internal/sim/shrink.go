@@ -1,0 +1,100 @@
+package sim
+
+// Shrink minimizes a failing trace while preserving the failure: classic
+// delta-debugging (ddmin) over the op list, then value-level
+// simplification of the surviving ops and the initial window. Each
+// candidate is re-run under the same options; only candidates that still
+// fail are kept, so the result always reproduces the original bug class.
+//
+// The search is bounded by maxEvals harness executions (a deterministic
+// budget — shrinking is itself replayable). Pass 0 for the default.
+func Shrink(tr Trace, opt Options, maxEvals int) Trace {
+	if maxEvals <= 0 {
+		maxEvals = 400
+	}
+	evals := 0
+	fails := func(t Trace) bool {
+		if evals >= maxEvals {
+			return false
+		}
+		evals++
+		return Run(t, opt) != nil
+	}
+
+	if err := Run(tr, opt); err == nil {
+		return tr // nothing to shrink
+	} else if ce, ok := err.(*CheckError); ok && ce.Step >= 0 && ce.Step+1 < len(tr.Ops) {
+		// Ops past the failing step cannot matter; cut them first.
+		tr.Ops = append([]Op(nil), tr.Ops[:ce.Step+1]...)
+	}
+
+	// Phase 1: ddmin — remove chunks of ops, halving the chunk size.
+	for chunk := (len(tr.Ops) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo < len(tr.Ops); {
+			hi := lo + chunk
+			if hi > len(tr.Ops) {
+				hi = len(tr.Ops)
+			}
+			cand := tr
+			cand.Ops = make([]Op, 0, len(tr.Ops)-(hi-lo))
+			cand.Ops = append(cand.Ops, tr.Ops[:lo]...)
+			cand.Ops = append(cand.Ops, tr.Ops[hi:]...)
+			if len(cand.Ops) > 0 && fails(cand) {
+				tr = cand // chunk was irrelevant; keep it removed
+			} else {
+				lo = hi
+			}
+		}
+	}
+
+	// Phase 2: shrink the initial window toward 1.
+	for tr.Initial > 1 {
+		cand := tr
+		cand.Initial = tr.Initial / 2
+		if cand.Initial < 1 {
+			cand.Initial = 1
+		}
+		if !fails(cand) {
+			cand.Initial = tr.Initial - 1
+			if !fails(cand) {
+				break
+			}
+		}
+		tr = cand
+	}
+
+	// Phase 3: shrink op magnitudes (Drop/Add toward 0, Node toward 0).
+	for i := range tr.Ops {
+		tr = shrinkOpField(tr, i, fails, func(op *Op, v int) { op.Drop = v }, tr.Ops[i].Drop)
+		tr = shrinkOpField(tr, i, fails, func(op *Op, v int) { op.Add = v }, tr.Ops[i].Add)
+		tr = shrinkOpField(tr, i, fails, func(op *Op, v int) { op.Node = v }, tr.Ops[i].Node)
+	}
+	return tr
+}
+
+// shrinkOpField lowers one numeric field of op i as far as the failure
+// allows, trying 0, then successive halvings of the current value.
+func shrinkOpField(tr Trace, i int, fails func(Trace) bool, set func(*Op, int), cur int) Trace {
+	try := func(v int) bool {
+		cand := tr
+		cand.Ops = append([]Op(nil), tr.Ops...)
+		set(&cand.Ops[i], v)
+		if fails(cand) {
+			tr = cand
+			return true
+		}
+		return false
+	}
+	if cur <= 0 {
+		return tr
+	}
+	if try(0) {
+		return tr
+	}
+	for v := cur / 2; v >= 1; v /= 2 {
+		if try(v) {
+			break
+		}
+	}
+	return tr
+}

@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Kind selects the contraction structure a trace drives. Tree-layer runs
+// drive the core tree directly; runtime-layer runs map the same kind onto
+// the equivalent sliderrt configuration (mode, engine, split processing).
+type Kind int
+
+// Trace kinds, one per contraction tree (split-processing variants drive
+// the same tree through its background/foreground API).
+const (
+	Folding Kind = iota + 1
+	Randomized
+	Rotating
+	RotatingSplit
+	Coalescing
+	CoalescingSplit
+	Strawman
+)
+
+// String returns the Go identifier of the kind (used by FormatRepro).
+func (k Kind) String() string {
+	switch k {
+	case Folding:
+		return "Folding"
+	case Randomized:
+		return "Randomized"
+	case Rotating:
+		return "Rotating"
+	case RotatingSplit:
+		return "RotatingSplit"
+	case Coalescing:
+		return "Coalescing"
+	case CoalescingSplit:
+		return "CoalescingSplit"
+	case Strawman:
+		return "Strawman"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// fixedWidth reports whether the kind slides in fixed-width bucket units
+// (rotating trees).
+func (k Kind) fixedWidth() bool { return k == Rotating || k == RotatingSplit }
+
+// appendOnly reports whether the kind's window only grows.
+func (k Kind) appendOnly() bool { return k == Coalescing || k == CoalescingSplit }
+
+// Kinds lists every trace kind (the full tree family).
+func Kinds() []Kind {
+	return []Kind{Folding, Randomized, Rotating, RotatingSplit, Coalescing, CoalescingSplit, Strawman}
+}
+
+// OpKind tags one trace operation.
+type OpKind int
+
+// Trace operations. Memo-layer ops (fail/recover/GC) only have an effect
+// at the runtime layer; the tree layer skips them, which keeps a single
+// trace replayable through both layers.
+const (
+	// OpSlide moves the window: Drop oldest items, Add new ones. For
+	// fixed-width kinds Drop == Add counts buckets; for append-only
+	// kinds Drop is 0.
+	OpSlide OpKind = iota + 1
+	// OpCheckpoint round-trips the structure through its checkpoint /
+	// restore path and checks the restored state (fingerprint and work
+	// counters) against a freshly restored copy.
+	OpCheckpoint
+	// OpFailNode crashes memo node Node (runtime layer).
+	OpFailNode
+	// OpRecoverNode brings memo node Node back (runtime layer).
+	OpRecoverNode
+	// OpGCPressure evicts every memoized entry after the next slide
+	// (runtime layer): correctness must never depend on the cache.
+	OpGCPressure
+)
+
+// String returns the Go identifier of the op kind (used by FormatRepro).
+func (k OpKind) String() string {
+	switch k {
+	case OpSlide:
+		return "OpSlide"
+	case OpCheckpoint:
+		return "OpCheckpoint"
+	case OpFailNode:
+		return "OpFailNode"
+	case OpRecoverNode:
+		return "OpRecoverNode"
+	case OpGCPressure:
+		return "OpGCPressure"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one step of a trace.
+type Op struct {
+	Kind OpKind
+	// Drop and Add describe an OpSlide (items for variable kinds,
+	// buckets for fixed-width kinds).
+	Drop, Add int
+	// Node is the memo node of an OpFailNode / OpRecoverNode.
+	Node int
+}
+
+// Trace is a deterministic window schedule: everything a run does is a
+// pure function of the trace, so any failure replays from (Kind, Seed,
+// step count) alone.
+type Trace struct {
+	Kind    Kind
+	Seed    uint64
+	Initial int // initial window: items (variable/append) or buckets (fixed)
+	Ops     []Op
+}
+
+// String summarizes a trace for log lines.
+func (tr Trace) String() string {
+	var slides, cps, fails, gcs int
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case OpSlide:
+			slides++
+		case OpCheckpoint:
+			cps++
+		case OpFailNode, OpRecoverNode:
+			fails++
+		case OpGCPressure:
+			gcs++
+		}
+	}
+	return fmt.Sprintf("sim.Trace{Kind: %s, Seed: %#x, Initial: %d, Ops: %d (%d slides, %d checkpoints, %d fail/recover, %d gc)}",
+		tr.Kind, tr.Seed, tr.Initial, len(tr.Ops), slides, cps, fails, gcs)
+}
+
+// maxWindow caps the model window so wild growth stays cheap enough to
+// oracle-check after every step.
+const maxWindow = 384
+
+// simNodes is the memo cluster size used by the runtime layer; fail and
+// recover ops target nodes in [0, simNodes).
+const simNodes = 4
+
+// Generate builds a randomized trace for the kind: a seeded mix of
+// appends, variable-width slides, wild width fluctuation, checkpoint /
+// restore cycles, memo fail/recover events, and GC pressure. The same
+// (kind, seed, steps) always yields the same trace.
+func Generate(kind Kind, seed uint64, steps int) Trace {
+	rng := rand.New(rand.NewSource(int64(seed*0x9e3779b97f4a7c15 + uint64(kind))))
+	tr := Trace{Kind: kind, Seed: seed}
+	switch {
+	case kind.fixedWidth():
+		tr.Initial = 2 + rng.Intn(11) // window of N buckets, fixed forever
+	case kind.appendOnly():
+		tr.Initial = 1 + rng.Intn(6)
+	default:
+		tr.Initial = 1 + rng.Intn(24)
+	}
+	live := tr.Initial
+	for len(tr.Ops) < steps {
+		r := rng.Intn(100)
+		switch {
+		case r < 68:
+			tr.Ops = append(tr.Ops, genSlide(kind, rng, &live))
+		case r < 80:
+			tr.Ops = append(tr.Ops, Op{Kind: OpCheckpoint})
+		case r < 87:
+			tr.Ops = append(tr.Ops, Op{Kind: OpFailNode, Node: rng.Intn(simNodes)})
+		case r < 94:
+			tr.Ops = append(tr.Ops, Op{Kind: OpRecoverNode, Node: rng.Intn(simNodes)})
+		default:
+			tr.Ops = append(tr.Ops, Op{Kind: OpGCPressure})
+		}
+	}
+	return tr
+}
+
+// genSlide draws one legal slide for the kind, tracking the live window.
+func genSlide(kind Kind, rng *rand.Rand, live *int) Op {
+	switch {
+	case kind.fixedWidth():
+		k := 1
+		if rng.Intn(4) == 0 {
+			k = 1 + rng.Intn(3)
+			if k > *live {
+				k = *live
+			}
+		}
+		return Op{Kind: OpSlide, Drop: k, Add: k}
+	case kind.appendOnly():
+		add := 1 + rng.Intn(4)
+		if *live+add > maxWindow {
+			add = 1
+		}
+		*live += add
+		return Op{Kind: OpSlide, Add: add}
+	default:
+		var drop, add int
+		if rng.Intn(8) == 0 { // wild width fluctuation
+			if rng.Intn(2) == 0 && *live > 1 {
+				// Shrink drastically — sometimes draining the window.
+				drop = *live - rng.Intn(2)
+			} else {
+				// Grow past the current size.
+				add = *live + rng.Intn(*live+8)
+			}
+		} else {
+			maxDrop := *live
+			if maxDrop > 4 {
+				maxDrop = 4
+			}
+			drop = rng.Intn(maxDrop + 1)
+			add = rng.Intn(5)
+		}
+		if *live-drop+add > maxWindow {
+			add = maxWindow - (*live - drop)
+			if add < 0 {
+				add = 0
+			}
+		}
+		if drop == 0 && add == 0 {
+			add = 1
+		}
+		*live += add - drop
+		return Op{Kind: OpSlide, Drop: drop, Add: add}
+	}
+}
+
+// Replay regenerates the exact trace a CI failure log names: paste the
+// kind, seed, and step count from the "replay:" line.
+func Replay(kind Kind, seed uint64, steps int) Trace { return Generate(kind, seed, steps) }
+
+// ReplayLine renders the one-line replay recipe printed on failures.
+func ReplayLine(tr Trace) string {
+	return fmt.Sprintf("replay: sim.Run(sim.Replay(sim.%s, %#x, %d), opts)", tr.Kind, tr.Seed, len(tr.Ops))
+}
+
+// opLiteral renders one op as a Go composite literal.
+func opLiteral(op Op) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{Kind: sim.%s", op.Kind)
+	if op.Drop != 0 {
+		fmt.Fprintf(&b, ", Drop: %d", op.Drop)
+	}
+	if op.Add != 0 {
+		fmt.Fprintf(&b, ", Add: %d", op.Add)
+	}
+	if op.Node != 0 {
+		fmt.Fprintf(&b, ", Node: %d", op.Node)
+	}
+	b.WriteString("}")
+	return b.String()
+}
