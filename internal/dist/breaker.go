@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"math/rand"
+	"time"
+)
+
+// breakerState is one of the classic circuit-breaker states. A worker's
+// breaker decides whether the pool may send it work (closed), must leave
+// it alone while a cooldown elapses (open), or may issue exactly one
+// probe to test recovery (half-open).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String names the state (diagnostics).
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the per-worker circuit-breaker and backoff state. It is not
+// self-locking: the owning Pool's mutex guards every access, which keeps
+// the state machine trivial. Failures below the threshold still push the
+// next contact attempt out by a jittered exponential backoff, so even a
+// closed breaker never produces a reconnect stampede.
+type breaker struct {
+	state    breakerState
+	failures int           // consecutive failures
+	until    time.Time     // earliest next contact (dial or probe)
+	cooldown time.Duration // current open-state cooldown (doubles per re-open)
+}
+
+// breakerConfig is the slice of PoolConfig the breaker consumes.
+type breakerConfig struct {
+	threshold   int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	cooldown    time.Duration
+}
+
+// allow reports whether the worker may be contacted now: closed breakers
+// outside their backoff window always may; open breakers only once the
+// cooldown has elapsed (the contact then counts as the half-open probe).
+func (b *breaker) allow(now time.Time) bool {
+	return now.After(b.until) || now.Equal(b.until)
+}
+
+// probe transitions an open breaker to half-open for one contact attempt.
+// Returns true when this contact is a half-open probe (for accounting).
+func (b *breaker) probe() bool {
+	if b.state == breakerOpen {
+		b.state = breakerHalfOpen
+		return true
+	}
+	return false
+}
+
+// onSuccess resets the breaker after a successful contact. Returns true
+// when this closed a previously open/half-open breaker.
+func (b *breaker) onSuccess() bool {
+	reopened := b.state != breakerClosed
+	b.state = breakerClosed
+	b.failures = 0
+	b.until = time.Time{}
+	b.cooldown = 0
+	return reopened
+}
+
+// onFailure records a failed contact: the next attempt is pushed out by a
+// jittered exponential backoff, and once the consecutive-failure count
+// reaches the threshold (or a half-open probe fails) the breaker opens.
+// Returns true when this transition newly opened the breaker.
+func (b *breaker) onFailure(now time.Time, cfg breakerConfig, rng *rand.Rand) bool {
+	b.failures++
+	opened := false
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.failures >= cfg.threshold) {
+		if b.cooldown == 0 {
+			b.cooldown = cfg.cooldown
+		} else {
+			b.cooldown *= 2
+			if b.cooldown > cfg.maxBackoff {
+				b.cooldown = cfg.maxBackoff
+			}
+		}
+		opened = b.state != breakerOpen
+		b.state = breakerOpen
+		b.until = now.Add(jitter(b.cooldown, rng))
+		return opened
+	}
+	b.until = now.Add(backoffDelay(cfg.baseBackoff, cfg.maxBackoff, b.failures, rng))
+	return false
+}
+
+// backoffDelay returns the attempt-th exponential backoff delay with
+// ±25% jitter: base·2^(attempt−1), capped at max.
+func backoffDelay(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return jitter(d, rng)
+}
+
+// jitter spreads a delay uniformly over [0.75d, 1.25d] so synchronized
+// clients (or a fleet of pools) do not reconnect in lockstep.
+func jitter(d time.Duration, rng *rand.Rand) time.Duration {
+	if d <= 0 || rng == nil {
+		return d
+	}
+	spread := int64(d) / 2
+	if spread <= 0 {
+		return d
+	}
+	return time.Duration(int64(d)*3/4 + rng.Int63n(spread))
+}

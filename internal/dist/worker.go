@@ -46,12 +46,66 @@ type PingReply struct {
 	Jobs   []string
 }
 
+// WorkerFaults holds one-shot fault injections armed by tests and the
+// simulation harness. Each armed fault fires on the worker's next RunMap
+// batch and then disarms itself, so a single injection perturbs exactly
+// one batch — which keeps deterministic chaos traces replayable.
+type WorkerFaults struct {
+	mu      sync.Mutex
+	delay   time.Duration // delay the next response
+	drop    bool          // hang up without delivering the next response
+	corrupt bool          // corrupt a payload frame in the next response
+	crash   bool          // crash the worker mid-batch
+}
+
+// InjectDelay arms a one-shot response delay.
+func (f *WorkerFaults) InjectDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// InjectDrop arms a one-shot dropped response: the batch is computed but
+// every connection is closed before the reply is delivered.
+func (f *WorkerFaults) InjectDrop() {
+	f.mu.Lock()
+	f.drop = true
+	f.mu.Unlock()
+}
+
+// InjectCorrupt arms a one-shot frame corruption: a byte is flipped in
+// the first result's payload frame, which the client's checksummed codec
+// must catch.
+func (f *WorkerFaults) InjectCorrupt() {
+	f.mu.Lock()
+	f.corrupt = true
+	f.mu.Unlock()
+}
+
+// InjectCrash arms a one-shot mid-batch crash: the worker dies (Kill)
+// after computing the first split of the batch, before replying.
+func (f *WorkerFaults) InjectCrash() {
+	f.mu.Lock()
+	f.crash = true
+	f.mu.Unlock()
+}
+
+// take consumes every armed fault.
+func (f *WorkerFaults) take() (delay time.Duration, drop, corrupt, crash bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delay, drop, corrupt, crash = f.delay, f.drop, f.corrupt, f.crash
+	f.delay, f.drop, f.corrupt, f.crash = 0, false, false, false
+	return
+}
+
 // Worker serves map tasks over TCP. Create with NewWorker, stop with
 // Close.
 type Worker struct {
 	name     string
 	registry *Registry
 	listener net.Listener
+	faults   WorkerFaults
 
 	mu     sync.Mutex
 	served int64
@@ -108,6 +162,9 @@ func NewWorker(name, addr string, registry *Registry) (*Worker, error) {
 // Addr returns the worker's listen address.
 func (w *Worker) Addr() string { return w.listener.Addr().String() }
 
+// Faults exposes the worker's fault-injection switchboard.
+func (w *Worker) Faults() *WorkerFaults { return &w.faults }
+
 // Served returns the number of map tasks this worker has executed.
 func (w *Worker) Served() int64 {
 	w.mu.Lock()
@@ -138,21 +195,71 @@ func (w *Worker) Close() error {
 	return err
 }
 
+// Kill abruptly stops the worker without waiting for in-flight handlers
+// — the crash path. Unlike Close it is safe to call from inside a
+// handler (Close would deadlock on its own WaitGroup). Connections are
+// closed before returning, so a handler that Kills its worker can never
+// deliver its reply: the client always observes a transport failure.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	w.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// dropConns closes every open connection but leaves the worker running
+// (the dropped-response fault: clients see a transport error and must
+// reconnect, which the healthy worker accepts).
+func (w *Worker) dropConns() {
+	w.mu.Lock()
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
 // workerService is the RPC surface (kept separate so Worker's exported
 // methods don't have to satisfy net/rpc's signature rules).
 type workerService struct {
 	w *Worker
 }
 
-// RunMap executes a batch of map tasks for a registered job.
+// RunMap executes a batch of map tasks for a registered job. Armed
+// one-shot faults (WorkerFaults) fire here: crash kills the worker after
+// the first split, drop computes everything but hangs up before
+// replying, corrupt flips a byte in a payload frame, delay stalls the
+// response.
 func (s *workerService) RunMap(req MapRequest, resp *MapResponse) error {
+	delay, drop, corrupt, crash := s.w.faults.take()
 	job, err := s.w.registry.Lookup(req.JobName)
 	if err != nil {
 		return err
 	}
 	resp.Worker = s.w.name
 	resp.Results = make([]MapResult, 0, len(req.SplitFrames))
-	for _, frame := range req.SplitFrames {
+	for idx, frame := range req.SplitFrames {
+		if crash && idx == 1 {
+			// Mid-batch crash: one split computed, nothing delivered.
+			// Kill closes the connection first, so the error below never
+			// reaches the client — it sees a transport failure.
+			s.w.Kill()
+			return fmt.Errorf("dist: worker %s: injected crash", s.w.name)
+		}
 		var split mapreduce.Split
 		if err := persist.Decode(frame, &split); err != nil {
 			return fmt.Errorf("dist: worker %s: %w", s.w.name, err)
@@ -178,6 +285,25 @@ func (s *workerService) RunMap(req MapRequest, resp *MapResponse) error {
 		s.w.mu.Lock()
 		s.w.served++
 		s.w.mu.Unlock()
+	}
+	if crash && len(req.SplitFrames) <= 1 {
+		// Single-split batch: crash after compute, before the reply.
+		s.w.Kill()
+		return fmt.Errorf("dist: worker %s: injected crash", s.w.name)
+	}
+	if corrupt && len(resp.Results) > 0 && len(resp.Results[0].PartFrames) > 0 {
+		if frame := resp.Results[0].PartFrames[0]; len(frame) > 0 {
+			frame[len(frame)/2] ^= 0xFF
+		}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		// Hang up before the reply is written; the healthy worker keeps
+		// accepting reconnects.
+		s.w.dropConns()
+		return fmt.Errorf("dist: worker %s: injected drop", s.w.name)
 	}
 	return nil
 }

@@ -118,10 +118,20 @@ type Stats struct {
 	Bytes       int64 // bytes currently resident (cache + replicas counted once)
 	Entries     int64 // live entries
 	Evicted     int64 // entries garbage-collected so far
+	Unavailable int64 // reads refused because every replica was down
 }
 
 // ErrNotFound is returned when a key is absent from the layer entirely.
 var ErrNotFound = errors.New("memo: not found")
+
+// ErrUnavailable is returned when a key is memoized but unreadable right
+// now: its in-memory copy is gone (evicted, or the caching node failed)
+// and every persistent replica is on a failed node. Unlike ErrNotFound
+// the entry still exists and becomes readable again after RecoverNode;
+// callers treat both as a miss and recompute the value, which is always
+// safe because memoized nodes are deterministic functions of their
+// inputs (the MapReduce fault model).
+var ErrUnavailable = errors.New("memo: all replicas unavailable")
 
 // numShards is the power-of-two number of index shards. 64 comfortably
 // exceeds any worker count the contraction engine runs (partition workers
@@ -163,6 +173,9 @@ type Store struct {
 	evicted  atomic.Int64
 	entries  atomic.Int64
 	resident atomic.Int64 // sum of live entry sizes
+	// unavailable counts reads refused because the home node and every
+	// replica were down (ErrUnavailable).
+	unavailable atomic.Int64
 }
 
 // NewStore returns an empty memoization layer.
@@ -298,7 +311,21 @@ func (s *Store) Get(key string, fromNode int) (any, error) {
 		s.readNs.Add(cost)
 		return value, nil
 	}
-	// Fall back to a persistent replica; prefer a local one.
+	// Fall back to a persistent replica; prefer a local one. If every
+	// replica is on a failed node the value is temporarily unreadable —
+	// report the typed miss so the caller recomputes instead of erroring.
+	anyLive := false
+	for _, r := range e.replicas {
+		if !s.isDown(r) {
+			anyLive = true
+			break
+		}
+	}
+	if !anyLive {
+		sh.mu.Unlock()
+		s.unavailable.Add(1)
+		return nil, fmt.Errorf("memo: key %q: %w", key, ErrUnavailable)
+	}
 	cost := s.cfg.DiskReadOverheadNs + kb*s.cfg.DiskReadNsPerKB
 	local := false
 	for _, r := range e.replicas {
@@ -475,6 +502,7 @@ func (s *Store) Stats() Stats {
 		Bytes:       s.resident.Load(),
 		Entries:     s.entries.Load(),
 		Evicted:     s.evicted.Load(),
+		Unavailable: s.unavailable.Load(),
 	}
 }
 

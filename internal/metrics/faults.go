@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FaultStats is a point-in-time snapshot of the fault-tolerance event
+// counters (FaultRecorder.Snapshot). Every retry, hedge, breaker
+// transition, and degradation event in the distributed runtime increments
+// exactly one of these, so a run's failure handling is fully observable.
+type FaultStats struct {
+	// Retries counts splits re-queued for execution after a worker
+	// failure (RPC error, deadline expiry, or corrupted response).
+	Retries int64
+	// DeadlinesExpired counts RPCs abandoned at their per-task deadline.
+	DeadlinesExpired int64
+	// Redials counts reconnect attempts to down workers (each one gated
+	// by the breaker/backoff state, so this stays small against a dead
+	// host).
+	Redials int64
+	// CorruptFrames counts responses discarded because a payload frame
+	// failed its checksum.
+	CorruptFrames int64
+	// HedgesLaunched counts speculative duplicate batches issued for
+	// slow in-flight work; HedgesWon counts hedges that delivered at
+	// least one result before the original.
+	HedgesLaunched int64
+	HedgesWon      int64
+	// BreakerOpened / BreakerHalfOpen / BreakerClosed count per-worker
+	// circuit-breaker transitions (closed→open, open→half-open probe,
+	// half-open→closed).
+	BreakerOpened   int64
+	BreakerHalfOpen int64
+	BreakerClosed   int64
+	// BudgetExhausted counts batches abandoned after the per-batch retry
+	// budget ran out.
+	BudgetExhausted int64
+	// LocalFallbacks counts map batches that degraded from remote to
+	// in-process execution after the pool gave up.
+	LocalFallbacks int64
+	// MemoRecomputes counts memoized nodes recomputed because their home
+	// node and every replica were unreachable (or the entry was evicted).
+	MemoRecomputes int64
+}
+
+// String renders the non-zero counters on one line (diagnostics).
+func (s FaultStats) String() string {
+	out := ""
+	add := func(name string, v int64) {
+		if v != 0 {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s=%d", name, v)
+		}
+	}
+	add("retries", s.Retries)
+	add("deadlines", s.DeadlinesExpired)
+	add("redials", s.Redials)
+	add("corrupt", s.CorruptFrames)
+	add("hedges", s.HedgesLaunched)
+	add("hedge-wins", s.HedgesWon)
+	add("breaker-open", s.BreakerOpened)
+	add("breaker-half", s.BreakerHalfOpen)
+	add("breaker-close", s.BreakerClosed)
+	add("budget-exhausted", s.BudgetExhausted)
+	add("local-fallbacks", s.LocalFallbacks)
+	add("memo-recomputes", s.MemoRecomputes)
+	if out == "" {
+		return "no fault events"
+	}
+	return out
+}
+
+// FaultRecorder accumulates fault-tolerance events. All fields are
+// atomics, so producers on any goroutine (pool senders, the health
+// checker, partition workers) increment without locking. One recorder is
+// typically shared between a dist.Pool and the sliderrt.Runtime driving
+// it (sliderrt.Config.Faults), so the whole degradation ladder lands in a
+// single snapshot. Use by pointer; the zero value is ready.
+type FaultRecorder struct {
+	Retries          atomic.Int64
+	DeadlinesExpired atomic.Int64
+	Redials          atomic.Int64
+	CorruptFrames    atomic.Int64
+	HedgesLaunched   atomic.Int64
+	HedgesWon        atomic.Int64
+	BreakerOpened    atomic.Int64
+	BreakerHalfOpen  atomic.Int64
+	BreakerClosed    atomic.Int64
+	BudgetExhausted  atomic.Int64
+	LocalFallbacks   atomic.Int64
+	MemoRecomputes   atomic.Int64
+}
+
+// Snapshot returns the current counter values.
+func (r *FaultRecorder) Snapshot() FaultStats {
+	return FaultStats{
+		Retries:          r.Retries.Load(),
+		DeadlinesExpired: r.DeadlinesExpired.Load(),
+		Redials:          r.Redials.Load(),
+		CorruptFrames:    r.CorruptFrames.Load(),
+		HedgesLaunched:   r.HedgesLaunched.Load(),
+		HedgesWon:        r.HedgesWon.Load(),
+		BreakerOpened:    r.BreakerOpened.Load(),
+		BreakerHalfOpen:  r.BreakerHalfOpen.Load(),
+		BreakerClosed:    r.BreakerClosed.Load(),
+		BudgetExhausted:  r.BudgetExhausted.Load(),
+		LocalFallbacks:   r.LocalFallbacks.Load(),
+		MemoRecomputes:   r.MemoRecomputes.Load(),
+	}
+}

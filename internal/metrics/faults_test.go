@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFaultRecorderSnapshot(t *testing.T) {
+	var r FaultRecorder
+	if s := r.Snapshot(); s != (FaultStats{}) {
+		t.Fatalf("zero recorder snapshot = %+v", s)
+	}
+	r.Retries.Add(3)
+	r.HedgesLaunched.Add(2)
+	r.HedgesWon.Add(1)
+	r.BreakerOpened.Add(1)
+	s := r.Snapshot()
+	if s.Retries != 3 || s.HedgesLaunched != 2 || s.HedgesWon != 1 || s.BreakerOpened != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	str := s.String()
+	for _, want := range []string{"retries=3", "hedges=2", "hedge-wins=1", "breaker-open=1"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+	if (FaultStats{}).String() != "no fault events" {
+		t.Fatalf("empty String() = %q", (FaultStats{}).String())
+	}
+}
+
+func TestFaultRecorderConcurrent(t *testing.T) {
+	var r FaultRecorder
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Retries.Add(1)
+				r.Redials.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := r.Snapshot(); s.Retries != 8000 || s.Redials != 8000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

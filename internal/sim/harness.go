@@ -58,6 +58,12 @@ type Options struct {
 	Buggify core.Buggify
 	// NoBounds disables the delta-proportional work-bound checks.
 	NoBounds bool
+	// DistFaults runs the runtime layer's map phase on a real dist
+	// worker cluster and lets the trace's worker ops (crash, restart,
+	// delay, drop, corrupt — see GenerateChaos) inject faults into it.
+	// The oracle checks are unchanged: every slide must still match the
+	// from-scratch result, whatever the fault timing.
+	DistFaults bool
 }
 
 func (o Options) pars() []int {
@@ -172,8 +178,9 @@ func runTree(tr Trace, opt Options) error {
 			if err := checkStep(tr, step, drivers, pars, window); err != nil {
 				return err
 			}
-		case OpFailNode, OpRecoverNode, OpGCPressure:
-			// Memo-layer events; nothing to do at the tree layer.
+		case OpFailNode, OpRecoverNode, OpGCPressure,
+			OpWorkerCrash, OpWorkerRestart, OpWorkerDelay, OpWorkerDrop, OpWorkerCorrupt:
+			// Memo- and dist-layer events; nothing to do at the tree layer.
 		}
 		prevStats = drivers[0].stats()
 	}

@@ -137,12 +137,30 @@ func runRuntime(tr Trace, opt Options) error {
 		return &CheckError{Trace: tr, Step: step, Check: check, Msg: fmt.Sprintf(format, args...)}
 	}
 
+	// With DistFaults the map phase runs on a real worker cluster shared
+	// by every replica; the trace's worker ops inject faults into it and
+	// the pool plus the runtime's degradation ladder must absorb them —
+	// the oracle checks below stay exactly as strict.
+	var chaos *chaosCluster
+	if opt.DistFaults {
+		var err error
+		chaos, err = newChaosCluster(chaosWorkers)
+		if err != nil {
+			return fail(-1, "config", "chaos cluster: %v", err)
+		}
+		defer chaos.Close()
+	}
+
 	reps := make([]*rtReplica, len(pars))
 	for i, par := range pars {
 		gcAll := new(bool)
 		cfg, err := runtimeConfig(tr, par, gcAll)
 		if err != nil {
 			return fail(-1, "config", "%v", err)
+		}
+		if chaos != nil {
+			cfg.MapRunner = chaos.pool
+			cfg.Faults = chaos.rec
 		}
 		rt, err := sliderrt.New(simJob(), cfg)
 		if err != nil {
@@ -243,6 +261,12 @@ func runRuntime(tr Trace, opt Options) error {
 		case OpGCPressure:
 			for _, rep := range reps {
 				*rep.gcAll = true
+			}
+		case OpWorkerCrash, OpWorkerRestart, OpWorkerDelay, OpWorkerDrop, OpWorkerCorrupt:
+			if chaos != nil {
+				if err := chaos.apply(op); err != nil {
+					return fail(step, "chaos", "%v: %v", op.Kind, err)
+				}
 			}
 		}
 	}

@@ -79,6 +79,25 @@ const (
 	// OpGCPressure evicts every memoized entry after the next slide
 	// (runtime layer): correctness must never depend on the cache.
 	OpGCPressure
+	// OpWorkerCrash arms a mid-batch crash on dist worker Node: it dies
+	// after computing the first split of its next batch, before replying
+	// (runtime layer with Options.DistFaults).
+	OpWorkerCrash
+	// OpWorkerRestart restarts dist worker Node on its original address
+	// (runtime layer with Options.DistFaults).
+	OpWorkerRestart
+	// OpWorkerDelay arms a delayed response on dist worker Node, long
+	// enough to trip the pool's hedging and per-task deadline (runtime
+	// layer with Options.DistFaults).
+	OpWorkerDelay
+	// OpWorkerDrop arms a dropped response on dist worker Node: the batch
+	// is computed but the connection closes before the reply (runtime
+	// layer with Options.DistFaults).
+	OpWorkerDrop
+	// OpWorkerCorrupt arms a corrupted frame in dist worker Node's next
+	// response; the pool's checksummed codec must catch it and re-execute
+	// (runtime layer with Options.DistFaults).
+	OpWorkerCorrupt
 )
 
 // String returns the Go identifier of the op kind (used by FormatRepro).
@@ -94,6 +113,16 @@ func (k OpKind) String() string {
 		return "OpRecoverNode"
 	case OpGCPressure:
 		return "OpGCPressure"
+	case OpWorkerCrash:
+		return "OpWorkerCrash"
+	case OpWorkerRestart:
+		return "OpWorkerRestart"
+	case OpWorkerDelay:
+		return "OpWorkerDelay"
+	case OpWorkerDrop:
+		return "OpWorkerDrop"
+	case OpWorkerCorrupt:
+		return "OpWorkerCorrupt"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -117,11 +146,14 @@ type Trace struct {
 	Seed    uint64
 	Initial int // initial window: items (variable/append) or buckets (fixed)
 	Ops     []Op
+	// Chaos marks a GenerateChaos trace, so ReplayLine names the right
+	// generator.
+	Chaos bool
 }
 
 // String summarizes a trace for log lines.
 func (tr Trace) String() string {
-	var slides, cps, fails, gcs int
+	var slides, cps, fails, gcs, chaos int
 	for _, op := range tr.Ops {
 		switch op.Kind {
 		case OpSlide:
@@ -132,10 +164,12 @@ func (tr Trace) String() string {
 			fails++
 		case OpGCPressure:
 			gcs++
+		case OpWorkerCrash, OpWorkerRestart, OpWorkerDelay, OpWorkerDrop, OpWorkerCorrupt:
+			chaos++
 		}
 	}
-	return fmt.Sprintf("sim.Trace{Kind: %s, Seed: %#x, Initial: %d, Ops: %d (%d slides, %d checkpoints, %d fail/recover, %d gc)}",
-		tr.Kind, tr.Seed, tr.Initial, len(tr.Ops), slides, cps, fails, gcs)
+	return fmt.Sprintf("sim.Trace{Kind: %s, Seed: %#x, Initial: %d, Ops: %d (%d slides, %d checkpoints, %d fail/recover, %d gc, %d worker-faults)}",
+		tr.Kind, tr.Seed, tr.Initial, len(tr.Ops), slides, cps, fails, gcs, chaos)
 }
 
 // maxWindow caps the model window so wild growth stays cheap enough to
@@ -145,6 +179,10 @@ const maxWindow = 384
 // simNodes is the memo cluster size used by the runtime layer; fail and
 // recover ops target nodes in [0, simNodes).
 const simNodes = 4
+
+// chaosWorkers is the dist worker count chaos traces run against; worker
+// fault ops target workers in [0, chaosWorkers).
+const chaosWorkers = 3
 
 // Generate builds a randomized trace for the kind: a seeded mix of
 // appends, variable-width slides, wild width fluctuation, checkpoint /
@@ -231,13 +269,68 @@ func genSlide(kind Kind, rng *rand.Rand, live *int) Op {
 	}
 }
 
+// GenerateChaos builds a randomized trace like Generate with dist-layer
+// fault injections mixed in: worker crashes and restarts, delayed,
+// dropped, and corrupted responses. It is a separate generator so
+// Generate's output stays byte-identical for existing seeds. Run chaos
+// traces at the runtime layer with Options.DistFaults; without it (and
+// at the tree layer) the worker ops are ignored, so one trace stays
+// replayable everywhere. Restarts outweigh crashes slightly so the
+// cluster tends to recover rather than drain.
+func GenerateChaos(kind Kind, seed uint64, steps int) Trace {
+	rng := rand.New(rand.NewSource(int64(seed*0x9e3779b97f4a7c15 + uint64(kind) + 0xc4a05)))
+	tr := Trace{Kind: kind, Seed: seed, Chaos: true}
+	switch {
+	case kind.fixedWidth():
+		tr.Initial = 2 + rng.Intn(11)
+	case kind.appendOnly():
+		tr.Initial = 1 + rng.Intn(6)
+	default:
+		tr.Initial = 1 + rng.Intn(24)
+	}
+	live := tr.Initial
+	for len(tr.Ops) < steps {
+		r := rng.Intn(100)
+		switch {
+		case r < 55:
+			tr.Ops = append(tr.Ops, genSlide(kind, rng, &live))
+		case r < 62:
+			tr.Ops = append(tr.Ops, Op{Kind: OpCheckpoint})
+		case r < 68:
+			tr.Ops = append(tr.Ops, Op{Kind: OpFailNode, Node: rng.Intn(simNodes)})
+		case r < 74:
+			tr.Ops = append(tr.Ops, Op{Kind: OpRecoverNode, Node: rng.Intn(simNodes)})
+		case r < 78:
+			tr.Ops = append(tr.Ops, Op{Kind: OpGCPressure})
+		case r < 84:
+			tr.Ops = append(tr.Ops, Op{Kind: OpWorkerCrash, Node: rng.Intn(chaosWorkers)})
+		case r < 92:
+			tr.Ops = append(tr.Ops, Op{Kind: OpWorkerRestart, Node: rng.Intn(chaosWorkers)})
+		case r < 95:
+			tr.Ops = append(tr.Ops, Op{Kind: OpWorkerDelay, Node: rng.Intn(chaosWorkers)})
+		case r < 98:
+			tr.Ops = append(tr.Ops, Op{Kind: OpWorkerDrop, Node: rng.Intn(chaosWorkers)})
+		default:
+			tr.Ops = append(tr.Ops, Op{Kind: OpWorkerCorrupt, Node: rng.Intn(chaosWorkers)})
+		}
+	}
+	return tr
+}
+
 // Replay regenerates the exact trace a CI failure log names: paste the
 // kind, seed, and step count from the "replay:" line.
 func Replay(kind Kind, seed uint64, steps int) Trace { return Generate(kind, seed, steps) }
 
+// ReplayChaos is Replay for GenerateChaos traces.
+func ReplayChaos(kind Kind, seed uint64, steps int) Trace { return GenerateChaos(kind, seed, steps) }
+
 // ReplayLine renders the one-line replay recipe printed on failures.
 func ReplayLine(tr Trace) string {
-	return fmt.Sprintf("replay: sim.Run(sim.Replay(sim.%s, %#x, %d), opts)", tr.Kind, tr.Seed, len(tr.Ops))
+	fn := "Replay"
+	if tr.Chaos {
+		fn = "ReplayChaos"
+	}
+	return fmt.Sprintf("replay: sim.Run(sim.%s(sim.%s, %#x, %d), opts)", fn, tr.Kind, tr.Seed, len(tr.Ops))
 }
 
 // opLiteral renders one op as a Go composite literal.

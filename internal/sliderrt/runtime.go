@@ -1,6 +1,7 @@
 package sliderrt
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -44,11 +45,12 @@ type RunResult struct {
 // concurrent use; runs are sequential by design (each run's trees feed
 // the next).
 type Runtime struct {
-	job   *mapreduce.Job
-	cfg   Config
-	store *memo.Store
-	parts int
-	sizes *payloadSizes // memoized PayloadBytes per payload identity
+	job    *mapreduce.Job
+	cfg    Config
+	store  *memo.Store
+	parts  int
+	sizes  *payloadSizes // memoized PayloadBytes per payload identity
+	faults *metrics.FaultRecorder
 
 	seq      uint64 // next split sequence number
 	windowLo uint64 // sequence number of the oldest live split
@@ -85,11 +87,12 @@ func New(job *mapreduce.Job, cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("sliderrt: job %q: rotating trees require a commutative combiner", job.Name)
 	}
 	rt := &Runtime{
-		job:   job,
-		cfg:   cfg,
-		store: memo.NewStore(cfg.Memo),
-		parts: job.NumPartitions(),
-		sizes: newPayloadSizes(),
+		job:    job,
+		cfg:    cfg,
+		store:  memo.NewStore(cfg.Memo),
+		parts:  job.NumPartitions(),
+		sizes:  newPayloadSizes(),
+		faults: cfg.Faults,
 	}
 	return rt, nil
 }
@@ -153,7 +156,10 @@ func (rt *Runtime) mapAdds(splits []mapreduce.Split, rec *metrics.Recorder) ([]m
 	}
 	results, err := runner.RunMap(rt.job, splits)
 	if err != nil {
-		return nil, err
+		results, err = rt.salvageMap(splits, err)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var counters metrics.Counters
 	for i, r := range results {
@@ -172,6 +178,52 @@ func (rt *Runtime) mapAdds(splits []mapreduce.Split, rec *metrics.Recorder) ([]m
 	rec.Add(counters)
 	rt.seq += uint64(len(splits))
 	rt.live += len(splits)
+	return results, nil
+}
+
+// partialResult is the carrier interface a failing MapRunner may
+// implement (dist's IncompleteError does) to hand back the splits that
+// did complete before it gave up. Declared here so sliderrt stays
+// independent of the dist package.
+type partialResult interface {
+	Completed() ([]mapreduce.MapResult, []bool)
+}
+
+// salvageMap is the local-fallback rung of the degradation ladder: when
+// the remote MapRunner cannot finish a batch — all workers dead or the
+// retry budget exhausted, signalled by an error carrying partial results
+// — the missing splits are re-executed in-process instead of failing the
+// slide. Map tasks are deterministic and side-effect-free, so mixing
+// remote and local results is safe; splits the pool did complete are
+// kept as-is, never recomputed or double-counted. Errors that carry no
+// partial results (bad job, map-function failure) are not retryable and
+// pass through.
+func (rt *Runtime) salvageMap(splits []mapreduce.Split, runErr error) ([]mapreduce.MapResult, error) {
+	var pr partialResult
+	if rt.cfg.DisableLocalFallback || !errors.As(runErr, &pr) {
+		return nil, runErr
+	}
+	rt.faults.LocalFallbacks.Add(1)
+	results := make([]mapreduce.MapResult, len(splits))
+	missing := make([]mapreduce.Split, 0, len(splits))
+	missingIdx := make([]int, 0, len(splits))
+	got, done := pr.Completed()
+	for i := range splits {
+		if i < len(done) && done[i] {
+			results[i] = got[i]
+		} else {
+			missing = append(missing, splits[i])
+			missingIdx = append(missingIdx, i)
+		}
+	}
+	local := mapreduce.Executor{Parallelism: rt.parallelism()}
+	fallback, err := local.RunMap(rt.job, missing)
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range missingIdx {
+		results[i] = fallback[k]
+	}
 	return results, nil
 }
 
@@ -262,8 +314,11 @@ func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
 			}
 		}
 		// The initial run materializes every tree node into the
-		// memoization layer — the paper's Figure 13 overhead.
+		// memoization layer — the paper's Figure 13 overhead — and
+		// registers the partition's root-path entry that every later
+		// slide reads back (chargeStateRead).
 		writeNs := rt.store.ChargeWrite(rt.partitionTreeBytes(p))
+		writeNs += rt.putPartState(p, roots[p])
 		rt.recordContraction(rec, p, time.Since(start)+time.Duration(writeNs), roots[p])
 		return nil
 	}); err != nil {
@@ -338,19 +393,14 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 			return err
 		}
 		elapsed := time.Since(start)
-		// The update rewrites the recomputed root-path nodes into the
-		// memoization layer: one new root for append-only windows,
-		// roughly twice the root payload for a log-depth path.
-		var rootBytes int64
-		for _, r := range roots[p] {
-			rootBytes += rt.sizes.bytes(rt.job, r)
-		}
-		if rt.cfg.Mode != Append {
-			rootBytes *= 2
-		}
-		writeNs := rt.store.ChargeWrite(rootBytes)
-		rt.recordContraction(rec, p, elapsed+time.Duration(writeNs), roots[p])
+		// Read last run's memoized root-path state, then rewrite the
+		// recomputed nodes: one new root for append-only windows, roughly
+		// twice the root payload for a log-depth path. An unreadable
+		// entry — every replica down, or evicted — makes chargeStateRead
+		// degrade to recomputation instead of failing the slide.
 		rt.chargeStateRead(p, roots[p])
+		writeNs := rt.putPartState(p, roots[p])
+		rt.recordContraction(rec, p, elapsed+time.Duration(writeNs), roots[p])
 		return nil
 	}); err != nil {
 		return nil, err
@@ -532,15 +582,48 @@ func (rt *Runtime) recordContraction(rec *metrics.Recorder, p int, cost time.Dur
 	rec.Add(metrics.Counters{CombineCalls: atomic.SwapInt64(&rt.combines[p], 0)})
 }
 
-// chargeStateRead charges the shim I/O layer for the memoized state the
-// partition's update read (Table 2's read-time accounting).
-func (rt *Runtime) chargeStateRead(p int, roots []Payload) {
+// rootPathBytes estimates the memoized root-path state a partition's
+// update reads and rewrites: one root payload for append-only windows,
+// roughly twice the root payload for a log-depth path.
+func (rt *Runtime) rootPathBytes(roots []Payload) int64 {
 	var bytes int64
 	for _, r := range roots {
 		bytes += rt.sizes.bytes(rt.job, r)
 	}
-	if bytes > 0 {
-		rt.store.ChargeRead("part:"+strconv.Itoa(p), bytes, rt.partNode(p))
+	if rt.cfg.Mode != Append {
+		bytes *= 2
+	}
+	return bytes
+}
+
+// putPartState memoizes partition p's root-path state under its "part:"
+// key, placed on the partition's home node with the configured replicas.
+// Every subsequent slide reads the entry back through chargeStateRead,
+// so node failures and GC evictions exercise the recompute path. Returns
+// the simulated write time.
+func (rt *Runtime) putPartState(p int, roots []Payload) int64 {
+	bytes := rt.rootPathBytes(roots)
+	if bytes == 0 {
+		return 0
+	}
+	return rt.store.Put("part:"+strconv.Itoa(p), nil, bytes, rt.windowLo, rt.seq)
+}
+
+// chargeStateRead reads partition p's memoized root-path state through
+// the shim I/O layer (Table 2's read-time accounting). When the entry is
+// unreadable — its home node and every replica failed
+// (memo.ErrUnavailable), or it was garbage-collected (memo.ErrNotFound)
+// — the update degrades to recomputation: the contraction trees hold the
+// state in memory, so the slide still succeeds; the re-materialization
+// is charged to the cost model and the event counted.
+func (rt *Runtime) chargeStateRead(p int, roots []Payload) {
+	bytes := rt.rootPathBytes(roots)
+	if bytes == 0 {
+		return
+	}
+	if _, err := rt.store.Get("part:"+strconv.Itoa(p), rt.partNode(p)); err != nil {
+		rt.faults.MemoRecomputes.Add(1)
+		rt.store.ChargeWrite(bytes)
 	}
 }
 
@@ -792,6 +875,10 @@ func makeItems(base uint64, payloads []Payload) []core.Item[Payload] {
 // Store exposes the memoization layer (for fault injection in tests and
 // the Table 2 experiment).
 func (rt *Runtime) Store() *memo.Store { return rt.store }
+
+// FaultStats snapshots the degradation event counters (shared with the
+// dist pool when Config.Faults is).
+func (rt *Runtime) FaultStats() metrics.FaultStats { return rt.faults.Snapshot() }
 
 // Live returns the number of splits currently in the window.
 func (rt *Runtime) Live() int { return rt.live }

@@ -320,9 +320,11 @@ func TestGCReclaimsOutOfWindowState(t *testing.T) {
 	if st.Evicted == 0 {
 		t.Fatal("GC never evicted out-of-window map outputs")
 	}
-	// Only the live window's map outputs remain.
-	if st.Entries > 4 {
-		t.Fatalf("store holds %d entries, want ≤ window size 4", st.Entries)
+	// Only the live window's map outputs and the per-partition root-path
+	// entries remain.
+	want := int64(4 + rt.parts)
+	if st.Entries > want {
+		t.Fatalf("store holds %d entries, want ≤ %d (window + partitions)", st.Entries, want)
 	}
 }
 
@@ -443,8 +445,9 @@ func TestUserDefinedGCPolicy(t *testing.T) {
 	window = append(window[2:], add...)
 	// Correctness is unaffected (GC only evicts memoized state)…
 	wantSameOutput(t, res.Output, scratch(t, job, window))
-	// …and the aggressive policy leaves no map outputs resident.
-	if n := rt.Store().Stats().Entries; n != 0 {
-		t.Fatalf("store holds %d entries after aggressive GC", n)
+	// …and the aggressive policy leaves no map outputs resident; only the
+	// per-partition root-path entries survive.
+	if n := rt.Store().Stats().Entries; n != int64(rt.parts) {
+		t.Fatalf("store holds %d entries after aggressive GC, want %d", n, rt.parts)
 	}
 }
