@@ -57,10 +57,21 @@ func run(args []string) error {
 	window := fs.Int("window", 20, "window length in splits")
 	slide := fs.Int("slide", 5, "slide width in splits (0 = append-only)")
 	top := fs.Int("top", 10, "words to print per window")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof, /debug/slides and /debug/tree on this address (empty = no server)")
+	statsEvery := fs.Int("stats", 10, "print a runtime stats line every N windows (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// Instrument every slide so the stats line (and the obs server, when
+	// enabled) has latency and memo data. Span tracing stays off unless
+	// someone can actually look at the traces.
+	so := slider.NewSlideObs()
+	if *obsAddr == "" {
+		so.Tracer.SetMode(slider.TraceOff, 0)
+	}
+
+	var cw *slider.CountWindow
 	runNo := 0
 	sink := func(o slider.WindowOutput) error {
 		runNo++
@@ -86,17 +97,40 @@ func run(args []string) error {
 			}
 			fmt.Printf("  %6d  %s\n", w.count, w.word)
 		}
+		if *statsEvery > 0 && runNo%*statsEvery == 0 {
+			ms := cw.Runtime().Store().Stats()
+			hitRatio := 0.0
+			if ms.Hits+ms.Misses > 0 {
+				hitRatio = float64(ms.Hits) / float64(ms.Hits+ms.Misses)
+			}
+			faults := "none"
+			if fsnap := cw.Runtime().FaultRecorder().Snapshot(); fsnap != (slider.FaultStats{}) {
+				faults = fsnap.String()
+			}
+			fmt.Printf("stats: slides=%d memo-hit=%.1f%% slide-p95=%v faults: %s\n",
+				runNo, 100*hitRatio, so.Slide.Quantile(0.95), faults)
+		}
 		return nil
 	}
 
-	cw, err := slider.NewCountWindow(slider.CountWindowConfig{
+	var err error
+	cw, err = slider.NewCountWindow(slider.CountWindowConfig{
 		Job:             wordCount(),
 		RecordsPerSplit: *split,
 		WindowSplits:    *window,
 		SlideSplits:     *slide,
+		Config:          slider.Config{Obs: so},
 	}, sink)
 	if err != nil {
 		return err
+	}
+	if *obsAddr != "" {
+		srv, err := slider.StartObsServerForRuntime(*obsAddr, cw.Runtime())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving introspection endpoints on http://%s/\n", srv.Addr())
 	}
 
 	scanner := bufio.NewScanner(os.Stdin)

@@ -58,6 +58,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("slider-worker", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	name := fs.String("name", "", "worker name (default: the listen address)")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics and /debug/pprof on this address (empty = no server)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +77,14 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("slider-worker %q serving %v on %s\n", label, registry.Names(), worker.Addr())
+	if *obsAddr != "" {
+		srv, err := slider.StartObsServer(*obsAddr, slider.ObsConfig{})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("slider-worker %q: obs endpoints on http://%s/\n", label, srv.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

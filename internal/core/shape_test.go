@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestFoldingShape(t *testing.T) {
+	tr := NewFolding(concat)
+	if s := tr.Shape(); s.Variant != "folding" || s.Nodes != 0 || s.Levels != nil {
+		t.Fatalf("empty shape = %+v", s)
+	}
+	tr.Init(seqPayloads(0, 8))
+	s := tr.Shape()
+	if s.Variant != "folding" || s.Live != 8 || s.Height != 3 {
+		t.Fatalf("shape = %+v", s)
+	}
+	// A full power-of-two window has a perfect tree: 1, 2, 4, 8 per level.
+	want := []int{1, 2, 4, 8}
+	if len(s.Levels) != len(want) {
+		t.Fatalf("levels = %v, want %v", s.Levels, want)
+	}
+	total := 0
+	for i, l := range s.Levels {
+		if l != want[i] {
+			t.Fatalf("levels = %v, want %v", s.Levels, want)
+		}
+		total += l
+	}
+	if s.Nodes != total {
+		t.Fatalf("Nodes %d != level sum %d", s.Nodes, total)
+	}
+	// Dropping leaves voids nodes: materialized counts shrink, the live
+	// count tracks the window.
+	if err := tr.Slide(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	s = tr.Shape()
+	if s.Live != 5 {
+		t.Fatalf("live after drop = %d, want 5", s.Live)
+	}
+	if s.Levels[len(s.Levels)-1] != 5 {
+		t.Fatalf("leaf level %v, want 5 live leaves", s.Levels)
+	}
+}
+
+func TestRotatingShape(t *testing.T) {
+	tr := NewRotating(concat, 4)
+	if err := tr.Init(seqPayloads(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Shape()
+	if s.Variant != "rotating" || s.Live != 4 || s.Height != 2 {
+		t.Fatalf("shape = %+v", s)
+	}
+	if len(s.Levels) != 3 || s.Levels[0] != 1 || s.Levels[2] != 4 {
+		t.Fatalf("levels = %v", s.Levels)
+	}
+	if err := tr.Rotate([]int{4}); err != nil {
+		t.Fatal(err)
+	}
+	if s = tr.Shape(); s.Live != 4 {
+		t.Fatalf("live after rotate = %d, want 4 (fixed width)", s.Live)
+	}
+}
+
+func TestCoalescingShape(t *testing.T) {
+	tr := NewCoalescing(concat)
+	if s := tr.Shape(); s.Variant != "coalescing" || s.Live != 0 {
+		t.Fatalf("empty shape = %+v", s)
+	}
+	tr.Append([]int{1})
+	tr.Append([]int{2})
+	tr.Background()
+	s := tr.Shape()
+	if s.Live != 1 || s.Nodes == 0 {
+		t.Fatalf("shape = %+v, want a materialized root", s)
+	}
+}
+
+func TestRandomizedFoldingShape(t *testing.T) {
+	tr := NewRandomizedFolding[[]int](concat, 42)
+	tr.Init(seqItems(0, 16))
+	s := tr.Shape()
+	if s.Variant != "randomized-folding" || s.Live != 16 {
+		t.Fatalf("shape = %+v", s)
+	}
+	if s.Nodes == 0 || s.Height == 0 {
+		t.Fatalf("shape = %+v, want materialized memo nodes and height", s)
+	}
+	if s.Levels != nil {
+		t.Fatalf("randomized tree has no stratified levels, got %v", s.Levels)
+	}
+}
+
+func TestStrawmanShape(t *testing.T) {
+	tr := NewStrawman[[]int](concat)
+	tr.Build(seqItems(0, 8))
+	s := tr.Shape()
+	if s.Variant != "strawman" || s.Live != 8 || s.Height != 3 {
+		t.Fatalf("shape = %+v", s)
+	}
+	if s.Nodes == 0 {
+		t.Fatalf("strawman memo empty after build")
+	}
+}

@@ -18,6 +18,7 @@ type StrawmanTree[T any] struct {
 	memo  map[strawKey]T
 	rootP T
 	hasP  bool
+	live  int // leaves of the last Build (shape introspection)
 	par   int // worker pool bound for per-level pair combines
 	stats Stats
 }
@@ -43,6 +44,7 @@ func (t *StrawmanTree[T]) SetParallelism(par int) { t.par = normalizeParallelism
 // whether the tree is non-empty. Entries untouched by this build are
 // garbage collected.
 func (t *StrawmanTree[T]) Build(leaves []Item[T]) bool {
+	t.live = len(leaves)
 	if len(leaves) == 0 {
 		var zero T
 		t.rootP, t.hasP = zero, false

@@ -7,7 +7,6 @@ import (
 	"math/rand"
 	"net"
 	"net/rpc"
-	"sort"
 	"sync"
 	"time"
 
@@ -109,6 +108,12 @@ type PoolConfig struct {
 	// recorder with sliderrt.Config.Faults to see the whole degradation
 	// ladder in a single snapshot.
 	Faults *metrics.FaultRecorder
+	// Tracer, when non-nil, lets the pool attach events (retries, hedges,
+	// budget exhaustion) to the currently active slide span
+	// (metrics.Tracer.Active), correlating fault handling with the slide
+	// that suffered it. Share the runtime's tracer
+	// (sliderrt.Config.Obs.Tracer).
+	Tracer *metrics.Tracer
 	// Seed fixes the backoff-jitter RNG (tests); 0 seeds from the clock.
 	Seed int64
 }
@@ -165,6 +170,7 @@ type Pool struct {
 	jobName string
 	cfg     PoolConfig
 	faults  *metrics.FaultRecorder
+	tracer  *metrics.Tracer
 
 	mu      sync.Mutex
 	workers []*poolWorker
@@ -172,7 +178,6 @@ type Pool struct {
 	// retries counts splits that were re-queued after a worker error.
 	retries int64
 	rng     *rand.Rand
-	lat     latencyTracker
 	closed  bool
 
 	healthStop chan struct{}
@@ -205,6 +210,7 @@ func NewPoolConfig(jobName string, addrs []string, cfg PoolConfig) (*Pool, error
 		jobName: jobName,
 		cfg:     cfg,
 		faults:  cfg.Faults,
+		tracer:  cfg.Tracer,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	live := 0
@@ -537,15 +543,22 @@ func (p *Pool) call(client *rpc.Client, req MapRequest, resp *MapResponse) error
 	}
 }
 
-// noteSuccess heals the worker's breaker and records the batch latency.
+// noteSuccess heals the worker's breaker and records the batch latency
+// into the shared fault recorder's RPC histogram (the hedging quantile's
+// sample source, exported via FaultStats).
 func (p *Pool) noteSuccess(w *poolWorker, elapsed time.Duration) {
+	p.faults.RPCLatency.Observe(elapsed)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if w.brk.onSuccess() {
 		p.faults.BreakerClosed.Add(1)
 	}
-	p.lat.add(elapsed)
 }
+
+// span returns the slide span the pool should attach events to, or nil
+// when no tracer is configured or no slide is active (Span methods are
+// nil-safe, so callers annotate unconditionally).
+func (p *Pool) span() *metrics.Span { return p.tracer.Active() }
 
 // failContact poisons the worker after a transport-level failure: the
 // connection is closed, the worker marked down, and its breaker backs
@@ -567,12 +580,10 @@ func (p *Pool) failContact(w *poolWorker, client *rpc.Client) {
 }
 
 // hedgeThreshold returns how long a round may be outstanding before a
-// hedge fires: the configured quantile of recent batch latencies,
+// hedge fires: the configured quantile of observed batch latencies,
 // floored at HedgeMin.
 func (p *Pool) hedgeThreshold() time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	th := p.lat.quantile(p.cfg.HedgeQuantile)
+	th := p.faults.RPCLatency.Quantile(p.cfg.HedgeQuantile)
 	if th < p.cfg.HedgeMin {
 		th = p.cfg.HedgeMin
 	}
@@ -610,6 +621,13 @@ func (p *Pool) RunMap(job *mapreduce.Job, splits []mapreduce.Split) ([]mapreduce
 		budget = 4*len(splits) + 8
 	}
 	partial := func(cause error) error {
+		doneCount := 0
+		for _, d := range done {
+			if d {
+				doneCount++
+			}
+		}
+		p.span().Event("pool: batch incomplete (%d/%d splits done): %v", doneCount, len(done), cause)
 		return &IncompleteError{Results: results, Done: done, Err: cause}
 	}
 	var idleSlept time.Duration
@@ -665,11 +683,13 @@ func (p *Pool) RunMap(job *mapreduce.Job, splits []mapreduce.Split) ([]mapreduce
 				}
 				if o.hedge && newDone > 0 {
 					p.faults.HedgesWon.Add(1)
+					p.span().Event("pool: hedge won %d splits", newDone)
 				}
 			case <-hedgeC:
 				hedgeC = nil // at most one hedge per round
 				if a := p.hedgeAssign(done); a != nil {
 					p.faults.HedgesLaunched.Add(1)
+					p.span().Event("pool: hedge launched on %s (%d splits)", a.w.addr, len(a.indices))
 					budget -= len(a.indices)
 					p.launch(a, frames, outcomes, true)
 					inflight++
@@ -711,6 +731,7 @@ func (p *Pool) absorb(o batchOutcome, job *mapreduce.Job, results []mapreduce.Ma
 		return 0, fmt.Errorf("dist: worker rejected batch: %w", o.err)
 	}
 	if o.err != nil {
+		p.span().Event("pool: batch on %s failed after %v: %v", o.a.w.addr, o.elapsed.Round(time.Millisecond), o.err)
 		p.requeue(o.a.indices, done, budget)
 		*roundFailures++
 		return 0, nil
@@ -802,44 +823,6 @@ func (p *Pool) nextRevival(now time.Time) time.Duration {
 		best = 0
 	}
 	return best
-}
-
-// latencyTracker keeps a ring of recent batch latencies for the hedging
-// quantile. Guarded by the pool mutex.
-type latencyTracker struct {
-	samples []time.Duration
-	next    int
-	full    bool
-}
-
-const latencySamples = 64
-
-func (l *latencyTracker) add(d time.Duration) {
-	if l.samples == nil {
-		l.samples = make([]time.Duration, latencySamples)
-	}
-	l.samples[l.next] = d
-	l.next++
-	if l.next == len(l.samples) {
-		l.next = 0
-		l.full = true
-	}
-}
-
-// quantile returns the q-th latency quantile, or 0 with no samples.
-func (l *latencyTracker) quantile(q float64) time.Duration {
-	n := l.next
-	if l.full {
-		n = len(l.samples)
-	}
-	if n == 0 {
-		return 0
-	}
-	tmp := make([]time.Duration, n)
-	copy(tmp, l.samples[:n])
-	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-	idx := int(float64(n-1) * q)
-	return tmp[idx]
 }
 
 // decodeResult converts a wire result back to a mapreduce.MapResult.

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"slider/internal/metrics"
 )
 
 // Config describes the simulated memoization substrate.
@@ -176,6 +178,12 @@ type Store struct {
 	// unavailable counts reads refused because the home node and every
 	// replica were down (ErrUnavailable).
 	unavailable atomic.Int64
+
+	// readObs and writeObs, when set, receive one observation per charged
+	// read/write — the simulated per-operation latency distribution the
+	// flat readNs/writeNs totals cannot show (SetLatencyObservers).
+	readObs  atomic.Pointer[metrics.Histogram]
+	writeObs atomic.Pointer[metrics.Histogram]
 }
 
 // NewStore returns an empty memoization layer.
@@ -186,6 +194,30 @@ func NewStore(cfg Config) *Store {
 		s.shards[i].index = make(map[string]*entry)
 	}
 	return s
+}
+
+// SetLatencyObservers installs histograms receiving one observation per
+// charged read and write (their simulated cost from the shim layer's
+// model). Either may be nil to leave that side unobserved. Safe to call
+// while the store is in use; the fast path is one atomic pointer load
+// when unset.
+func (s *Store) SetLatencyObservers(read, write *metrics.Histogram) {
+	s.readObs.Store(read)
+	s.writeObs.Store(write)
+}
+
+// observeRead/observeWrite report one charged cost (ns) to the installed
+// observer, if any.
+func (s *Store) observeRead(cost int64) {
+	if h := s.readObs.Load(); h != nil {
+		h.ObserveNs(cost)
+	}
+}
+
+func (s *Store) observeWrite(cost int64) {
+	if h := s.writeObs.Load(); h != nil {
+		h.ObserveNs(cost)
+	}
 }
 
 // shardFor returns the index shard owning key.
@@ -270,6 +302,7 @@ func (s *Store) Put(key string, value any, size int64, lo, hi uint64) int64 {
 	cost := kb * s.cfg.MemWriteNsPerKB
 	cost += int64(len(replicas)) * kb * s.cfg.DiskWriteNsPerKB
 	s.writeNs.Add(cost)
+	s.observeWrite(cost)
 	return cost
 }
 
@@ -282,6 +315,7 @@ func (s *Store) ChargeWrite(size int64) int64 {
 	cost := kb * s.cfg.MemWriteNsPerKB
 	cost += int64(s.cfg.Replicas) * kb * s.cfg.DiskWriteNsPerKB
 	s.writeNs.Add(cost)
+	s.observeWrite(cost)
 	return cost
 }
 
@@ -309,6 +343,7 @@ func (s *Store) Get(key string, fromNode int) (any, error) {
 		}
 		s.hits.Add(1)
 		s.readNs.Add(cost)
+		s.observeRead(cost)
 		return value, nil
 	}
 	// Fall back to a persistent replica; prefer a local one. If every
@@ -346,6 +381,7 @@ func (s *Store) Get(key string, fromNode int) (any, error) {
 	sh.mu.Unlock()
 	s.misses.Add(1)
 	s.readNs.Add(cost)
+	s.observeRead(cost)
 	return value, nil
 }
 
@@ -473,6 +509,7 @@ func (s *Store) ChargeRead(key string, size int64, fromNode int) {
 		}
 		s.hits.Add(1)
 		s.readNs.Add(cost)
+		s.observeRead(cost)
 		return
 	}
 	cost := s.cfg.DiskReadOverheadNs + kb*s.cfg.DiskReadNsPerKB
@@ -488,6 +525,7 @@ func (s *Store) ChargeRead(key string, size int64, fromNode int) {
 	}
 	s.misses.Add(1)
 	s.readNs.Add(cost)
+	s.observeRead(cost)
 }
 
 // Stats returns a snapshot of the layer's counters. Resident bytes and

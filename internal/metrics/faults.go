@@ -42,9 +42,63 @@ type FaultStats struct {
 	// MemoRecomputes counts memoized nodes recomputed because their home
 	// node and every replica were unreachable (or the entry was evicted).
 	MemoRecomputes int64
+	// RPCLatency is the distribution of successful batch RPC latencies —
+	// the samples the pool's hedging quantile is computed from, exported
+	// here instead of living as pool-private state.
+	RPCLatency HistogramSnapshot
 }
 
-// String renders the non-zero counters on one line (diagnostics).
+// EachCounter visits every fault-event counter with its stable name, in
+// declaration order (shared by String and the Prometheus renderer, so
+// names cannot drift between the two).
+func (s FaultStats) EachCounter(fn func(name string, v int64)) {
+	fn("retries", s.Retries)
+	fn("deadlines", s.DeadlinesExpired)
+	fn("redials", s.Redials)
+	fn("corrupt", s.CorruptFrames)
+	fn("hedges", s.HedgesLaunched)
+	fn("hedge-wins", s.HedgesWon)
+	fn("breaker-open", s.BreakerOpened)
+	fn("breaker-half", s.BreakerHalfOpen)
+	fn("breaker-close", s.BreakerClosed)
+	fn("budget-exhausted", s.BudgetExhausted)
+	fn("local-fallbacks", s.LocalFallbacks)
+	fn("memo-recomputes", s.MemoRecomputes)
+}
+
+// Sub returns the event deltas s − o (the fault activity between two
+// snapshots of the same recorder) — how a single slide's degradation
+// events are attributed to its span trace.
+func (s FaultStats) Sub(o FaultStats) FaultStats {
+	return FaultStats{
+		Retries:          s.Retries - o.Retries,
+		DeadlinesExpired: s.DeadlinesExpired - o.DeadlinesExpired,
+		Redials:          s.Redials - o.Redials,
+		CorruptFrames:    s.CorruptFrames - o.CorruptFrames,
+		HedgesLaunched:   s.HedgesLaunched - o.HedgesLaunched,
+		HedgesWon:        s.HedgesWon - o.HedgesWon,
+		BreakerOpened:    s.BreakerOpened - o.BreakerOpened,
+		BreakerHalfOpen:  s.BreakerHalfOpen - o.BreakerHalfOpen,
+		BreakerClosed:    s.BreakerClosed - o.BreakerClosed,
+		BudgetExhausted:  s.BudgetExhausted - o.BudgetExhausted,
+		LocalFallbacks:   s.LocalFallbacks - o.LocalFallbacks,
+		MemoRecomputes:   s.MemoRecomputes - o.MemoRecomputes,
+		RPCLatency:       s.RPCLatency.Sub(o.RPCLatency),
+	}
+}
+
+// Degraded reports whether the snapshot records any event that degraded
+// work (a retry, an expired deadline, a corrupt frame, an exhausted
+// budget, a local fallback, or a memo recompute). Breaker transitions
+// and hedge wins alone do not count — they are the machinery working.
+func (s FaultStats) Degraded() bool {
+	return s.Retries != 0 || s.DeadlinesExpired != 0 || s.CorruptFrames != 0 ||
+		s.BudgetExhausted != 0 || s.LocalFallbacks != 0 || s.MemoRecomputes != 0 ||
+		s.HedgesLaunched != 0
+}
+
+// String renders the non-zero counters (and the RPC latency quantiles,
+// when any batches were recorded) on one line (diagnostics).
 func (s FaultStats) String() string {
 	out := ""
 	add := func(name string, v int64) {
@@ -55,18 +109,14 @@ func (s FaultStats) String() string {
 			out += fmt.Sprintf("%s=%d", name, v)
 		}
 	}
-	add("retries", s.Retries)
-	add("deadlines", s.DeadlinesExpired)
-	add("redials", s.Redials)
-	add("corrupt", s.CorruptFrames)
-	add("hedges", s.HedgesLaunched)
-	add("hedge-wins", s.HedgesWon)
-	add("breaker-open", s.BreakerOpened)
-	add("breaker-half", s.BreakerHalfOpen)
-	add("breaker-close", s.BreakerClosed)
-	add("budget-exhausted", s.BudgetExhausted)
-	add("local-fallbacks", s.LocalFallbacks)
-	add("memo-recomputes", s.MemoRecomputes)
+	s.EachCounter(add)
+	if n := s.RPCLatency.total(); n > 0 {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("rpc-batches=%d rpc-p50=%v rpc-p95=%v rpc-p99=%v",
+			n, s.RPCLatency.Quantile(0.50), s.RPCLatency.Quantile(0.95), s.RPCLatency.Quantile(0.99))
+	}
 	if out == "" {
 		return "no fault events"
 	}
@@ -92,11 +142,17 @@ type FaultRecorder struct {
 	BudgetExhausted  atomic.Int64
 	LocalFallbacks   atomic.Int64
 	MemoRecomputes   atomic.Int64
+	// RPCLatency records every successful batch RPC's latency; the pool's
+	// hedging threshold is a quantile of it, and Snapshot exports it so
+	// the hedging decision is never computed from numbers an operator
+	// cannot see.
+	RPCLatency Histogram
 }
 
 // Snapshot returns the current counter values.
 func (r *FaultRecorder) Snapshot() FaultStats {
 	return FaultStats{
+		RPCLatency:       r.RPCLatency.Snapshot(),
 		Retries:          r.Retries.Load(),
 		DeadlinesExpired: r.DeadlinesExpired.Load(),
 		Redials:          r.Redials.Load(),

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {1000, 0}, // ≤ 1µs → bucket 0
+		{1001, 1}, {2000, 1}, // (1µs, 2µs]
+		{2001, 2}, {4000, 2},
+		{int64(time.Millisecond), 10},
+		{1 << 62, HistBuckets - 1}, // long tail clamps to the last bucket
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.ObserveNs(c.ns)
+		s := h.Snapshot()
+		if s.Counts[c.want] != 1 {
+			t.Errorf("ObserveNs(%d): want bucket %d, snapshot %v", c.ns, c.want, s.Counts)
+		}
+	}
+	// The documented invariant: a value lands in the first bucket whose
+	// upper bound is ≥ it.
+	for i := 0; i < HistBuckets-1; i++ {
+		if HistogramUpperBound(i)*2 != HistogramUpperBound(i+1) {
+			t.Fatalf("bucket bounds not doubling at %d", i)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile: want 0")
+	}
+	// 100 observations at ~2µs, 1 at ~1s: p50 in the 2µs bucket, p99+
+	// pulled up only at the extreme.
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Microsecond)
+	}
+	h.Observe(time.Second)
+	if got := h.Quantile(0.5); got != 2*time.Microsecond {
+		t.Errorf("p50 = %v, want 2µs", got)
+	}
+	if got := h.Quantile(0.99); got != 2*time.Microsecond {
+		t.Errorf("p99 = %v, want 2µs (100/101 observations)", got)
+	}
+	if got := h.Quantile(1.0); got < time.Second {
+		t.Errorf("p100 = %v, want ≥ 1s", got)
+	}
+	// Quantile never underestimates: the bucket upper bound is ≥ every
+	// value in the bucket.
+	if got := h.Quantile(0.5); got < 2*time.Microsecond {
+		t.Errorf("quantile underestimates: %v", got)
+	}
+}
+
+// TestHistogramConcurrentRecordMerge exercises the lock-free paths under
+// the race detector: writers on two source histograms, a merger folding
+// one into a sink, and snapshot readers, all concurrent.
+func TestHistogramConcurrentRecordMerge(t *testing.T) {
+	const writers = 8
+	const perWriter = 5000
+	var a, b Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := &a
+			if w%2 == 1 {
+				h = &b
+			}
+			for i := 0; i < perWriter; i++ {
+				h.ObserveNs(int64(i%1000) * 1000)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent snapshot reader
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := a.Snapshot()
+			if s.Count > s.total() {
+				t.Errorf("torn snapshot: count %d > bucket total %d", s.Count, s.total())
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	var sink Histogram
+	sink.Merge(&a)
+	sink.Merge(&b)
+	if got, want := sink.Count(), int64(writers*perWriter); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+	if got, want := sink.Sum(), a.Sum()+b.Sum(); got != want {
+		t.Fatalf("merged sum = %v, want %v", got, want)
+	}
+	sink.Merge(&sink) // self-merge is a documented no-op
+	if got, want := sink.Count(), int64(writers*perWriter); got != want {
+		t.Fatalf("self-merge changed count: %d, want %d", got, want)
+	}
+}
+
+// TestHistogramSnapshotMonotone takes snapshots mid-run while writers
+// record and asserts no torn reads: every counter is monotone between
+// successive snapshots and the total count never exceeds the bucket sum.
+func TestHistogramSnapshotMonotone(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.ObserveNs(int64(i%100) * 10_000)
+				}
+			}
+		}()
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 1000; i++ {
+		s := h.Snapshot()
+		if s.Count < prev.Count || s.SumNs < prev.SumNs {
+			t.Fatalf("snapshot regressed: %+v after %+v", s, prev)
+		}
+		for b := range s.Counts {
+			if s.Counts[b] < prev.Counts[b] {
+				t.Fatalf("bucket %d regressed: %d after %d", b, s.Counts[b], prev.Counts[b])
+			}
+		}
+		if s.Count > s.total() {
+			t.Fatalf("count %d exceeds bucket total %d (torn read)", s.Count, s.total())
+		}
+		prev = s
+	}
+	close(stop)
+	wg.Wait()
+	final := h.Snapshot()
+	if final.Count != final.total() {
+		t.Fatalf("quiescent count %d != bucket total %d", final.Count, final.total())
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	before := h.Snapshot()
+	h.Observe(time.Second)
+	h.Observe(time.Second)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 2 || d.total() != 2 {
+		t.Fatalf("delta count = %d (total %d), want 2", d.Count, d.total())
+	}
+	if d.Quantile(0.5) < time.Second {
+		t.Fatalf("delta p50 = %v, want ≥ 1s", d.Quantile(0.5))
+	}
+}
+
+func TestHistogramSnapshotString(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().String(); got != "n=0" {
+		t.Fatalf("empty snapshot String = %q", got)
+	}
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot().String()
+	for _, want := range []string{"n=1", "p50=", "p95=", "p99="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

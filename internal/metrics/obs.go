@@ -1,0 +1,65 @@
+package metrics
+
+// SlideObs bundles the runtime's per-slide observability surfaces: the
+// end-to-end and per-phase latency histograms plus the span tracer.
+// Hand one to sliderrt.Config.Obs to instrument a runtime, and to
+// obs.Config.Slide (or obs.StartForRuntime) to serve it over HTTP.
+//
+// The histograms are zero-value ready and always record when the bundle
+// is installed (a few atomic adds per slide — the paper's §7 quantities,
+// cheap enough to leave on). The tracer controls span recording
+// separately via Tracer.SetMode: off, sampled, or full. A nil *SlideObs
+// on the runtime config disables the entire instrumentation path.
+type SlideObs struct {
+	// Slide is the end-to-end latency of one slide (Initial or Advance).
+	Slide Histogram
+	// Map, Contract, and Reduce are the wall-clock latencies of the three
+	// phases of each slide (map tasks incl. shuffle into partitions, the
+	// contraction-tree update, and the final per-partition reduce).
+	Map      Histogram
+	Contract Histogram
+	Reduce   Histogram
+	// MemoRead and MemoWrite are the simulated memoization-layer I/O
+	// latencies, one observation per charged read/write (the shim layer's
+	// cost model, Table 2).
+	MemoRead  Histogram
+	MemoWrite Histogram
+	// Tracer records slide span trees; nil disables tracing while the
+	// histograms keep recording.
+	Tracer *Tracer
+}
+
+// NewSlideObs returns a bundle with a full-recording tracer of the
+// default ring capacity.
+func NewSlideObs() *SlideObs {
+	return &SlideObs{Tracer: NewTracer(0)}
+}
+
+// NamedHistogram pairs one of the bundle's histograms with its stable
+// name (and phase label, for the per-phase family), consumed by the
+// Prometheus renderer.
+type NamedHistogram struct {
+	// Name is the metric family: "slide", "phase", "memo_read",
+	// "memo_write".
+	Name string
+	// Phase labels entries of the "phase" family ("map", "contract",
+	// "reduce"); empty otherwise.
+	Phase string
+	// Hist is the histogram itself.
+	Hist *Histogram
+}
+
+// All returns the bundle's histograms in a stable order.
+func (o *SlideObs) All() []NamedHistogram {
+	if o == nil {
+		return nil
+	}
+	return []NamedHistogram{
+		{Name: "slide", Hist: &o.Slide},
+		{Name: "phase", Phase: "map", Hist: &o.Map},
+		{Name: "phase", Phase: "contract", Hist: &o.Contract},
+		{Name: "phase", Phase: "reduce", Hist: &o.Reduce},
+		{Name: "memo_read", Hist: &o.MemoRead},
+		{Name: "memo_write", Hist: &o.MemoWrite},
+	}
+}

@@ -1,0 +1,335 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the lightweight span tracer: each slide of the window is
+// recorded as a tree of spans — slide → phases → partitions — with
+// cross-cutting components (the dist pool, the degradation ladder)
+// attaching events to the active slide through Tracer.Active. Completed
+// slides land in a fixed ring buffer, so memory is bounded no matter how
+// long the stream runs, and a slow or degraded slide can be dumped as a
+// human-readable flame summary (Span.Format, served by /debug/slides).
+//
+// The tracer is sampling-capable and every Span method is nil-receiver
+// safe: with tracing off (or a slide sampled out) StartSlide returns nil
+// and the entire instrumentation path degenerates to nil-check no-ops —
+// the property the off-path overhead benchmark pins down.
+
+// TraceMode selects how many slides are recorded.
+type TraceMode int32
+
+// Trace modes.
+const (
+	// TraceFull records every slide.
+	TraceFull TraceMode = iota
+	// TraceSampled records every Nth slide (Tracer.SetMode's every).
+	TraceSampled
+	// TraceOff records nothing; StartSlide returns nil.
+	TraceOff
+)
+
+// String returns the mode name.
+func (m TraceMode) String() string {
+	switch m {
+	case TraceFull:
+		return "full"
+	case TraceSampled:
+		return "sampled"
+	case TraceOff:
+		return "off"
+	default:
+		return fmt.Sprintf("TraceMode(%d)", int32(m))
+	}
+}
+
+// Tracer records slide span trees into a bounded ring buffer. It is safe
+// for concurrent use; recording methods never block on readers.
+type Tracer struct {
+	mode   atomic.Int32
+	every  atomic.Int64 // sampling stride for TraceSampled
+	seq    atomic.Int64 // slides offered to StartSlide (sampling counter)
+	active atomic.Pointer[Span]
+
+	mu        sync.Mutex
+	ring      []*Span
+	next      int
+	committed int64
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 64
+
+// NewTracer returns a tracer retaining the last capacity slides
+// (DefaultTraceCapacity when capacity ≤ 0), recording every slide.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{ring: make([]*Span, capacity)}
+	t.every.Store(1)
+	return t
+}
+
+// SetMode switches the recording mode. every is the sampling stride for
+// TraceSampled (record one slide in every `every`; values < 1 mean 1) and
+// is ignored by the other modes. Safe to call while slides run.
+func (t *Tracer) SetMode(m TraceMode, every int) {
+	if t == nil {
+		return
+	}
+	if every < 1 {
+		every = 1
+	}
+	t.every.Store(int64(every))
+	t.mode.Store(int32(m))
+}
+
+// Mode returns the current recording mode.
+func (t *Tracer) Mode() TraceMode {
+	if t == nil {
+		return TraceOff
+	}
+	return TraceMode(t.mode.Load())
+}
+
+// StartSlide begins the span tree for one slide. It returns nil when the
+// tracer is nil, off, or sampling skipped this slide; all Span methods
+// tolerate nil, so callers instrument unconditionally.
+func (t *Tracer) StartSlide(id uint64, label string) *Span {
+	if t == nil {
+		return nil
+	}
+	n := t.seq.Add(1)
+	switch TraceMode(t.mode.Load()) {
+	case TraceOff:
+		return nil
+	case TraceSampled:
+		if (n-1)%t.every.Load() != 0 {
+			return nil
+		}
+	}
+	return &Span{ID: id, Name: label, Start: time.Now(), tracer: t}
+}
+
+// SetActive publishes the span cross-cutting components (the dist pool,
+// the degradation ladder) attach their events to. Pass nil to clear.
+func (t *Tracer) SetActive(s *Span) {
+	if t == nil {
+		return
+	}
+	t.active.Store(s)
+}
+
+// Active returns the currently active span, or nil.
+func (t *Tracer) Active() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.active.Load()
+}
+
+// commit stores a finished root span in the ring.
+func (t *Tracer) commit(s *Span) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	t.committed++
+	t.mu.Unlock()
+}
+
+// Committed returns how many slides have been recorded (including those
+// already evicted from the ring).
+func (t *Tracer) Committed() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.committed
+}
+
+// Recent returns up to n of the most recently committed slides, newest
+// first.
+func (t *Tracer) Recent(n int) []*Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, n)
+	for i := 1; i <= len(t.ring) && len(out) < n; i++ {
+		s := t.ring[(t.next-i+len(t.ring))%len(t.ring)]
+		if s == nil {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Slowest returns up to n retained slides ordered by descending
+// duration — the flame summaries worth reading first.
+func (t *Tracer) Slowest(n int) []*Span {
+	all := t.Recent(len(t.ring))
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Duration() > all[j].Duration() })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// SpanEvent is one timestamped annotation on a span.
+type SpanEvent struct {
+	// At is the event's offset from the span's start.
+	At time.Duration
+	// Msg is the annotation text.
+	Msg string
+}
+
+// Span is one timed node of a slide's trace tree. Child and Event are
+// safe for concurrent use (partitions record in parallel); the exported
+// fields are written once at creation. All methods tolerate a nil
+// receiver, so instrumentation needs no tracing-enabled checks.
+type Span struct {
+	// ID is the slide ID (meaningful on root spans).
+	ID uint64
+	// Name labels the span ("map phase", "partition 3", …).
+	Name string
+	// Start is the span's wall-clock start time.
+	Start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	done     bool
+	degraded bool
+	events   []SpanEvent
+	children []*Span
+	tracer   *Tracer // set on root spans; End commits to it
+}
+
+// Child starts a sub-span. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{ID: s.ID, Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Event appends a timestamped annotation.
+func (s *Span) Event(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	ev := SpanEvent{At: time.Since(s.Start), Msg: fmt.Sprintf(format, args...)}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// MarkDegraded flags the slide as having taken a degradation path
+// (retry, hedge, local fallback, memo recompute). /debug/slides surfaces
+// degraded slides prominently.
+func (s *Span) MarkDegraded() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.degraded = true
+	s.mu.Unlock()
+}
+
+// End stops the span's clock. Ending a root span commits the whole slide
+// tree to its tracer's ring; End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.dur = time.Since(s.Start)
+	tr := s.tracer
+	s.mu.Unlock()
+	if tr != nil {
+		tr.commit(s)
+	}
+}
+
+// Duration returns the span's recorded duration (elapsed time so far if
+// the span has not ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return time.Since(s.Start)
+	}
+	return s.dur
+}
+
+// Degraded reports whether the slide took a degradation path.
+func (s *Span) Degraded() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// Format renders the span tree as an indented flame summary, one line
+// per span, with events interleaved in time order.
+func (s *Span) Format() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.format(&b, 0)
+	return b.String()
+}
+
+func (s *Span) format(b *strings.Builder, depth int) {
+	s.mu.Lock()
+	dur := s.dur
+	if !s.done {
+		dur = time.Since(s.Start)
+	}
+	degraded := s.degraded
+	events := append([]SpanEvent(nil), s.events...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	indent := strings.Repeat("  ", depth)
+	mark := ""
+	if degraded {
+		mark = "  [DEGRADED]"
+	}
+	if depth == 0 {
+		fmt.Fprintf(b, "%sslide %d %q %v%s\n", indent, s.ID, s.Name, dur.Round(time.Microsecond), mark)
+	} else {
+		fmt.Fprintf(b, "%s%-24s %v%s\n", indent, s.Name, dur.Round(time.Microsecond), mark)
+	}
+	for _, ev := range events {
+		fmt.Fprintf(b, "%s  @%-10v %s\n", indent, ev.At.Round(time.Microsecond), ev.Msg)
+	}
+	for _, c := range children {
+		c.format(b, depth+1)
+	}
+}

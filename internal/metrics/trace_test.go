@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		sp := tr.StartSlide(uint64(i), "slide")
+		if sp == nil {
+			t.Fatalf("full mode returned nil span for slide %d", i)
+		}
+		sp.End()
+	}
+	if got := tr.Committed(); got != 10 {
+		t.Fatalf("Committed = %d, want 10", got)
+	}
+	recent := tr.Recent(10)
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d spans, want ring capacity 4", len(recent))
+	}
+	for i, sp := range recent { // newest first: 10, 9, 8, 7
+		if want := uint64(10 - i); sp.ID != want {
+			t.Errorf("recent[%d].ID = %d, want %d", i, sp.ID, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[0].ID != 10 {
+		t.Fatalf("Recent(2) = %v", got)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetMode(TraceSampled, 3)
+	var recorded []uint64
+	for i := 1; i <= 9; i++ {
+		if sp := tr.StartSlide(uint64(i), "s"); sp != nil {
+			recorded = append(recorded, sp.ID)
+			sp.End()
+		}
+	}
+	if len(recorded) != 3 {
+		t.Fatalf("sampled 1-in-3 over 9 slides recorded %d, want 3 (%v)", len(recorded), recorded)
+	}
+	if recorded[0] != 1 || recorded[1] != 4 || recorded[2] != 7 {
+		t.Fatalf("sampled slides %v, want [1 4 7]", recorded)
+	}
+}
+
+func TestTracerOffAndNilSafety(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetMode(TraceOff, 0)
+	sp := tr.StartSlide(1, "s")
+	if sp != nil {
+		t.Fatalf("TraceOff StartSlide returned non-nil span")
+	}
+	// The whole Span API must degenerate to no-ops on nil — this is the
+	// contract the runtime's unconditional instrumentation relies on.
+	child := sp.Child("phase")
+	child.Event("ignored %d", 1)
+	child.MarkDegraded()
+	child.End()
+	sp.End()
+	if sp.Duration() != 0 || sp.Degraded() || sp.Format() != "" {
+		t.Fatalf("nil span leaked state")
+	}
+	var nilTracer *Tracer
+	if nilTracer.StartSlide(1, "s") != nil || nilTracer.Active() != nil {
+		t.Fatalf("nil tracer not inert")
+	}
+	nilTracer.SetMode(TraceFull, 0)
+	nilTracer.SetActive(nil)
+	if nilTracer.Committed() != 0 || nilTracer.Recent(5) != nil {
+		t.Fatalf("nil tracer reported data")
+	}
+	if tr.Committed() != 0 {
+		t.Fatalf("TraceOff committed a slide")
+	}
+}
+
+// TestSpanConcurrentChildren hammers one span tree from many goroutines —
+// the partition-parallel contraction path — while a reader formats it.
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.StartSlide(1, "slide")
+	phase := root.Child("contract phase")
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ps := phase.Child("partition")
+			for i := 0; i < 100; i++ {
+				ps.Event("event %d", i)
+			}
+			ps.End()
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = root.Format() // must not race with writers
+		}
+	}()
+	wg.Wait()
+	<-done
+	phase.End()
+	root.MarkDegraded()
+	root.End()
+	root.End() // idempotent
+
+	if tr.Committed() != 1 {
+		t.Fatalf("Committed = %d, want 1", tr.Committed())
+	}
+	out := root.Format()
+	if !strings.Contains(out, "[DEGRADED]") {
+		t.Errorf("Format missing degraded mark:\n%s", out)
+	}
+	if got := strings.Count(out, "partition"); got != 8 {
+		t.Errorf("Format shows %d partitions, want 8", got)
+	}
+}
+
+func TestTracerSlowest(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 1; i <= 5; i++ {
+		sp := tr.StartSlide(uint64(i), "s")
+		sp.End()
+	}
+	// Recorded durations are near-zero and unordered; Slowest must still
+	// return the requested count without panicking and sorted descending.
+	slow := tr.Slowest(3)
+	if len(slow) != 3 {
+		t.Fatalf("Slowest(3) returned %d", len(slow))
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Duration() > slow[i-1].Duration() {
+			t.Fatalf("Slowest not descending at %d", i)
+		}
+	}
+}
+
+func TestTracerActiveSpan(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.StartSlide(7, "s")
+	tr.SetActive(sp)
+	if got := tr.Active(); got != sp {
+		t.Fatalf("Active = %v, want the started span", got)
+	}
+	tr.SetActive(nil)
+	if tr.Active() != nil {
+		t.Fatalf("Active not cleared")
+	}
+}

@@ -1,0 +1,247 @@
+// Package obs is the introspection HTTP server: it mounts Prometheus
+// metrics, pprof, recent slide traces, and the live contraction-tree
+// snapshot for a running Slider process. Every data source is optional —
+// a worker daemon mounts it with nothing but pprof, a stream driver
+// hands it the runtime's full observability bundle.
+//
+// Endpoints:
+//
+//	/                 index
+//	/metrics          Prometheus text exposition
+//	/debug/pprof/     Go runtime profiles
+//	/debug/slides     recent slide span traces (?n=, ?slowest=1)
+//	/debug/tree       live contraction-tree snapshot
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"slider/internal/memo"
+	"slider/internal/metrics"
+	"slider/internal/sliderrt"
+)
+
+// Config wires the server's data sources. Any field may be nil; the
+// corresponding sections simply disappear from the output.
+type Config struct {
+	// Slide is the runtime's instrumentation bundle (histograms + span
+	// tracer) — the source for /metrics latency families and
+	// /debug/slides.
+	Slide *metrics.SlideObs
+	// Fault is the shared fault-event recorder (counters + RPC latency).
+	Fault *metrics.FaultRecorder
+	// Tree supplies the latest contraction-tree snapshot (and, as a side
+	// effect of how the runtime implements it, requests a refresh).
+	// Typically sliderrt's (*Runtime).TreeSnapshot.
+	Tree func() *sliderrt.TreeSnapshot
+	// Memo supplies live memoization-layer counters (hit ratio in
+	// /metrics). Typically a closure over (*memo.Store).Stats.
+	Memo func() memo.Stats
+}
+
+// Server is a running introspection HTTP server.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. "127.0.0.1:6060"; ":0" picks a port) and
+// serves the introspection endpoints until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/slides", s.handleSlides)
+	mux.HandleFunc("/debug/tree", s.handleTree)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// StartForRuntime starts a server wired to everything a runtime exposes.
+func StartForRuntime(addr string, rt *sliderrt.Runtime) (*Server, error) {
+	return Start(addr, Config{
+		Slide: rt.Observability(),
+		Fault: rt.FaultRecorder(),
+		Tree:  rt.TreeSnapshot,
+		Memo:  func() memo.Stats { return rt.Store().Stats() },
+	})
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<html><head><title>slider obs</title></head><body>
+<h1>slider introspection</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/debug/slides">/debug/slides</a> — recent slide span traces (<a href="/debug/slides?slowest=1">slowest</a>)</li>
+<li><a href="/debug/tree">/debug/tree</a> — live contraction-tree snapshot</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
+</ul>
+</body></html>
+`)
+}
+
+// handleSlides dumps recent slide traces as flame summaries, newest
+// first. ?n= bounds the count (default 10); ?slowest=1 orders by
+// duration instead of recency.
+func (s *Server) handleSlides(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Slide == nil || s.cfg.Slide.Tracer == nil {
+		fmt.Fprintln(w, "no tracer configured")
+		return
+	}
+	tr := s.cfg.Slide.Tracer
+	n := 10
+	if v, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && v > 0 {
+		n = v
+	}
+	var spans []*metrics.Span
+	if r.URL.Query().Get("slowest") != "" {
+		spans = tr.Slowest(n)
+		fmt.Fprintf(w, "slowest %d of the retained slides (tracer mode %s, %d slides recorded)\n\n",
+			len(spans), tr.Mode(), tr.Committed())
+	} else {
+		spans = tr.Recent(n)
+		fmt.Fprintf(w, "most recent %d slides (tracer mode %s, %d slides recorded)\n\n",
+			len(spans), tr.Mode(), tr.Committed())
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "no slides recorded yet")
+		return
+	}
+	for _, sp := range spans {
+		fmt.Fprint(w, sp.Format())
+		fmt.Fprintln(w)
+	}
+}
+
+// handleTree renders the latest contraction-tree snapshot.
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Tree == nil {
+		fmt.Fprintln(w, "no tree source configured")
+		return
+	}
+	snap := s.cfg.Tree()
+	if snap == nil {
+		fmt.Fprintln(w, "no slide completed yet")
+		return
+	}
+	fmt.Fprintf(w, "variant: %s (mode %s)\n", snap.Variant, snap.Mode)
+	fmt.Fprintf(w, "slide: %d\n", snap.SlideID)
+	fmt.Fprintf(w, "window: %d live splits, oldest seq %d\n", snap.Live, snap.WindowLo)
+	fmt.Fprintf(w, "memo: %d hits, %d misses (hit ratio %.3f)\n", snap.MemoHits, snap.MemoMisses, snap.HitRatio())
+	fmt.Fprintf(w, "fingerprint: %016x\n", snap.Fingerprint)
+	for p, sh := range snap.Partitions {
+		fmt.Fprintf(w, "partition %d: height=%d live=%d nodes=%d", p, sh.Height, sh.Live, sh.Nodes)
+		if sh.Levels != nil {
+			fmt.Fprintf(w, " levels=%v", sh.Levels)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if o := s.cfg.Slide; o != nil {
+		for _, nh := range o.All() {
+			name := "slider_" + nh.Name + "_seconds"
+			if nh.Name == "phase" {
+				writeHistogram(w, name, `phase="`+nh.Phase+`"`, nh.Hist.Snapshot())
+			} else {
+				writeHistogram(w, name, "", nh.Hist.Snapshot())
+			}
+		}
+	}
+	if f := s.cfg.Fault; f != nil {
+		snap := f.Snapshot()
+		fmt.Fprintln(w, "# HELP slider_fault_events_total Fault-tolerance events by kind.")
+		fmt.Fprintln(w, "# TYPE slider_fault_events_total counter")
+		snap.EachCounter(func(name string, v int64) {
+			fmt.Fprintf(w, "slider_fault_events_total{event=%q} %d\n", name, v)
+		})
+		writeHistogram(w, "slider_rpc_batch_seconds", "", snap.RPCLatency)
+	}
+	if s.cfg.Memo != nil {
+		ms := s.cfg.Memo()
+		fmt.Fprintln(w, "# TYPE slider_memo_hits_total counter")
+		fmt.Fprintf(w, "slider_memo_hits_total %d\n", ms.Hits)
+		fmt.Fprintln(w, "# TYPE slider_memo_misses_total counter")
+		fmt.Fprintf(w, "slider_memo_misses_total %d\n", ms.Misses)
+		fmt.Fprintln(w, "# TYPE slider_memo_hit_ratio gauge")
+		ratio := 0.0
+		if ms.Hits+ms.Misses > 0 {
+			ratio = float64(ms.Hits) / float64(ms.Hits+ms.Misses)
+		}
+		fmt.Fprintf(w, "slider_memo_hit_ratio %g\n", ratio)
+		fmt.Fprintln(w, "# TYPE slider_memo_resident_bytes gauge")
+		fmt.Fprintf(w, "slider_memo_resident_bytes %d\n", ms.Bytes)
+		fmt.Fprintln(w, "# TYPE slider_memo_entries gauge")
+		fmt.Fprintf(w, "slider_memo_entries %d\n", ms.Entries)
+	}
+	if s.cfg.Tree != nil {
+		if snap := s.cfg.Tree(); snap != nil {
+			fmt.Fprintln(w, "# TYPE slider_slides_total counter")
+			fmt.Fprintf(w, "slider_slides_total %d\n", snap.SlideID)
+			fmt.Fprintln(w, "# TYPE slider_window_live_splits gauge")
+			fmt.Fprintf(w, "slider_window_live_splits %d\n", snap.Live)
+		}
+	}
+}
+
+// writeHistogram renders one fixed-bucket latency histogram in the
+// Prometheus exposition format: cumulative le buckets in seconds, then
+// _sum and _count. The count is the bucket total, so the series is
+// always self-consistent even against in-flight recordings.
+func writeHistogram(w http.ResponseWriter, name, label string, snap metrics.HistogramSnapshot) {
+	sep := func(extra string) string {
+		switch {
+		case label == "" && extra == "":
+			return ""
+		case label == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + label + "}"
+		default:
+			return "{" + label + "," + extra + "}"
+		}
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, c := range snap.Counts {
+		cum += c
+		le := strconv.FormatFloat(metrics.HistogramUpperBound(i).Seconds(), 'g', -1, 64)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(`le="`+le+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(`le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, sep(""), time.Duration(snap.SumNs).Seconds())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sep(""), cum)
+}

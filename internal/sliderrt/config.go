@@ -117,6 +117,12 @@ type Config struct {
 	// retry → hedge → local → recompute — lands in a single snapshot.
 	// Nil allocates a private recorder (see Runtime.FaultStats).
 	Faults *metrics.FaultRecorder
+	// Obs, when set, instruments every slide: end-to-end and per-phase
+	// latency histograms, memo read/write latency, and span traces
+	// (subject to Obs.Tracer's mode). Nil — the default — disables the
+	// instrumentation path entirely. Hand the same bundle to the obs
+	// HTTP server to introspect the runtime live.
+	Obs *metrics.SlideObs
 }
 
 // Validation errors.

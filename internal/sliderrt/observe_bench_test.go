@@ -1,0 +1,115 @@
+package sliderrt
+
+import (
+	"testing"
+	"time"
+
+	"slider/internal/mapreduce"
+	"slider/internal/metrics"
+)
+
+// benchmarkSlides measures steady-state Advance latency with the given
+// instrumentation bundle (nil = the Config.Obs-unset path).
+func benchmarkSlides(b *testing.B, obs *metrics.SlideObs) {
+	job := wordCountJob()
+	rt, err := New(job, Config{Mode: Variable, Memo: testMemoConfig(), Obs: obs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.Initial(genSplits(0, 8, 4, 7)); err != nil {
+		b.Fatal(err)
+	}
+	adds := make([][]mapreduce.Split, b.N)
+	for i := range adds {
+		adds[i] = genSplits(8+i, 1, 4, 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Advance(1, adds[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlideObsNone(b *testing.B) { benchmarkSlides(b, nil) }
+
+func BenchmarkSlideObsOff(b *testing.B) {
+	obs := metrics.NewSlideObs()
+	obs.Tracer.SetMode(metrics.TraceOff, 0)
+	benchmarkSlides(b, obs)
+}
+
+func BenchmarkSlideObsSampled(b *testing.B) {
+	obs := metrics.NewSlideObs()
+	obs.Tracer.SetMode(metrics.TraceSampled, 16)
+	benchmarkSlides(b, obs)
+}
+
+func BenchmarkSlideObsFull(b *testing.B) { benchmarkSlides(b, metrics.NewSlideObs()) }
+
+// TestObsOffOverhead pins the acceptance bound: with tracing off, the
+// instrumented slide path (histogram observations, nil-span checks, the
+// snapshot request check) must cost < 2% over running with no Obs at all.
+// Min-of-k timing over interleaved rounds suppresses scheduler noise.
+func TestObsOffOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	job := wordCountJob()
+	const slides = 200
+	initial := genSplits(0, 8, 4, 7)
+	adds := make([][]mapreduce.Split, slides)
+	for i := range adds {
+		adds[i] = genSplits(8+i, 1, 4, 7)
+	}
+
+	run := func(obs *metrics.SlideObs) time.Duration {
+		rt, err := New(job, Config{Mode: Variable, Memo: testMemoConfig(), Obs: obs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Initial(initial); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < slides; i++ {
+			if _, err := rt.Advance(1, adds[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	offObs := func() *metrics.SlideObs {
+		o := metrics.NewSlideObs()
+		o.Tracer.SetMode(metrics.TraceOff, 0)
+		return o
+	}
+
+	run(nil) // warm-up: page in code and memo structures
+	run(offObs())
+	measure := func(rounds int) (none, off time.Duration) {
+		none, off = time.Duration(1<<62), time.Duration(1<<62)
+		for r := 0; r < rounds; r++ { // interleaved so drift hits both arms
+			if d := run(nil); d < none {
+				none = d
+			}
+			if d := run(offObs()); d < off {
+				off = d
+			}
+		}
+		return none, off
+	}
+	none, off := measure(5)
+	ratio := float64(off) / float64(none)
+	if ratio > 1.02 {
+		// One retry with more rounds before declaring a regression: a
+		// single noisy run must not fail CI, a real regression will.
+		none, off = measure(10)
+		ratio = float64(off) / float64(none)
+	}
+	t.Logf("obs-off overhead: none=%v off=%v ratio=%.4f", none, off, ratio)
+	if ratio > 1.02 {
+		t.Fatalf("tracing-off overhead %.2f%% exceeds the 2%% budget (none=%v off=%v)",
+			(ratio-1)*100, none, off)
+	}
+}

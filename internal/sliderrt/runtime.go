@@ -39,6 +39,9 @@ type RunResult struct {
 	// ReadTimeNs is the simulated time spent reading memoized state
 	// during this run.
 	ReadTimeNs int64
+	// SlideID is the 1-based sequence number of this run (1 = initial),
+	// the correlation key for span traces and tree snapshots.
+	SlideID uint64
 }
 
 // Runtime drives one job over a sliding window. It is not safe for
@@ -73,6 +76,11 @@ type Runtime struct {
 	// Fixed+split: per-partition buckets awaiting background install.
 	pendingBuckets []Payload
 	hasPending     bool
+
+	// treeSnap is the immutable tree snapshot served to concurrent
+	// readers (/debug/tree); snapReq asks the next slide to refresh it.
+	treeSnap atomic.Pointer[TreeSnapshot]
+	snapReq  atomic.Bool
 }
 
 // New returns a runtime for the job under the given configuration.
@@ -93,6 +101,9 @@ func New(job *mapreduce.Job, cfg Config) (*Runtime, error) {
 		parts:  job.NumPartitions(),
 		sizes:  newPayloadSizes(),
 		faults: cfg.Faults,
+	}
+	if cfg.Obs != nil {
+		rt.store.SetLatencyObservers(&cfg.Obs.MemoRead, &cfg.Obs.MemoWrite)
 	}
 	return rt, nil
 }
@@ -270,18 +281,25 @@ func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
 	rec := metrics.NewRecorder()
 	bg := metrics.NewRecorder()
 	rt.store.ResetReadStats()
+	so := rt.beginSlide("initial")
+	defer so.abort()
 
 	baseSeq := rt.seq
+	mapPh := so.phase("map")
 	results, err := rt.mapAdds(splits, rec)
 	if err != nil {
 		return nil, err
 	}
+	mapPh.end()
 	rt.allocTrees()
 	statsBefore := rt.treeStats()
 
+	contractPh := so.phase("contract")
 	roots := make([][]Payload, rt.parts)
 	if err := rt.forEachPartition(func(p int) error {
 		start := time.Now()
+		ps := partitionSpan(contractPh.span, p)
+		treeBefore := rt.partitionTreeStats(p)
 		payloads := partPayloads(results, p)
 		switch {
 		case rt.cfg.Engine == Strawman:
@@ -320,17 +338,22 @@ func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
 		writeNs := rt.store.ChargeWrite(rt.partitionTreeBytes(p))
 		writeNs += rt.putPartState(p, roots[p])
 		rt.recordContraction(rec, p, time.Since(start)+time.Duration(writeNs), roots[p])
+		rt.endPartitionSpan(ps, p, treeBefore)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	contractPh.end()
 
+	reducePh := so.phase("reduce")
 	out := rt.reduceAll(rec, roots)
+	reducePh.end()
 	statsFg := rt.treeStats()
 	rt.recordTreeCounters(rec, statsDelta(statsBefore, statsFg))
 
 	// Split processing: pave the way for the first incremental run.
 	if rt.cfg.SplitProcessing && rt.cfg.Mode == Fixed && rt.cfg.Engine == SelfAdjusting {
+		bgSpan := so.span.Child("background")
 		for p := 0; p < rt.parts; p++ {
 			start := time.Now()
 			if err := rt.rot[p].PrepareBackground(); err != nil {
@@ -342,12 +365,14 @@ func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
 				PreferredNode: rt.partNode(p),
 			})
 		}
+		bgSpan.End()
 	}
 
 	rt.started = true
 	res := rt.finish(out, rec, bg, statsBefore)
 	res.TreeStats = statsDelta(statsBefore, statsFg)
 	res.TreeStatsBackground = statsDelta(statsFg, rt.treeStats())
+	so.finish(res)
 	return res, nil
 }
 
@@ -368,12 +393,17 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 	bg := metrics.NewRecorder()
 	rt.store.ResetReadStats()
 	statsBefore := rt.treeStats()
+	so := rt.beginSlide("advance")
+	defer so.abort()
+	so.span.Event("slide: drop=%d add=%d", drop, len(add))
 
 	baseSeq := rt.seq
+	mapPh := so.phase("map")
 	results, err := rt.mapAdds(add, rec)
 	if err != nil {
 		return nil, err
 	}
+	mapPh.end()
 	rt.windowLo += uint64(drop)
 	rt.live -= drop
 
@@ -383,9 +413,12 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 	// made here so partition goroutines only read it.
 	rt.hasPending = rt.cfg.Mode == Fixed && rt.cfg.Engine == SelfAdjusting &&
 		rt.cfg.SplitProcessing && len(add) == rt.cfg.BucketSplits
+	contractPh := so.phase("contract")
 	roots := make([][]Payload, rt.parts)
 	if err := rt.forEachPartition(func(p int) error {
 		start := time.Now()
+		ps := partitionSpan(contractPh.span, p)
+		treeBefore := rt.partitionTreeStats(p)
 		payloads := partPayloads(results, p)
 		var err error
 		roots[p], err = rt.advancePartition(p, drop, baseSeq, payloads)
@@ -401,15 +434,21 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 		rt.chargeStateRead(p, roots[p])
 		writeNs := rt.putPartState(p, roots[p])
 		rt.recordContraction(rec, p, elapsed+time.Duration(writeNs), roots[p])
+		rt.endPartitionSpan(ps, p, treeBefore)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	contractPh.end()
 
+	reducePh := so.phase("reduce")
 	out := rt.reduceAll(rec, roots)
+	reducePh.end()
 	statsFg := rt.treeStats()
 	rt.recordTreeCounters(rec, statsDelta(statsBefore, statsFg))
+	bgSpan := so.span.Child("background")
 	rt.runBackground(bg)
+	bgSpan.End()
 	rt.store.GC(rt.windowLo)
 	if rt.cfg.GCPolicy != nil {
 		rt.store.GCFunc(rt.cfg.GCPolicy)
@@ -417,6 +456,7 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 	res := rt.finish(out, rec, bg, statsBefore)
 	res.TreeStatsBackground = statsDelta(statsFg, rt.treeStats())
 	res.TreeStats = statsDelta(statsBefore, statsFg)
+	so.finish(res)
 	return res, nil
 }
 

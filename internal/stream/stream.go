@@ -27,6 +27,10 @@ import (
 type Output struct {
 	// Result is the runtime's run result (output, work reports).
 	Result *sliderrt.RunResult
+	// SlideID is the run's 1-based sequence number — the correlation key
+	// for span traces and tree snapshots (Result.SlideID, hoisted here
+	// for sinks that only look at the envelope).
+	SlideID uint64
 	// WindowStart/WindowEnd describe the window: split indexes for
 	// count windows, timestamps for time windows.
 	WindowStart int64
@@ -164,7 +168,7 @@ func (w *CountWindow) maybeRun() error {
 func (w *CountWindow) deliver(res *sliderrt.RunResult) error {
 	end := int64(w.splits - len(w.pending) - len(w.buf)/w.cfg.RecordsPerSplit)
 	start := int64(w.rt.WindowLo())
-	return w.sink(Output{Result: res, WindowStart: start, WindowEnd: end})
+	return w.sink(Output{Result: res, SlideID: res.SlideID, WindowStart: start, WindowEnd: end})
 }
 
 // Runtime exposes the underlying runtime (e.g. for checkpointing).
@@ -336,6 +340,7 @@ func (t *TimeWindow) deliver(res *sliderrt.RunResult) error {
 	end := t.periodTimes[len(t.periodTimes)-1].Add(t.cfg.Slide)
 	return t.sink(Output{
 		Result:      res,
+		SlideID:     res.SlideID,
 		WindowStart: end.Add(-t.cfg.Window).UnixNano(),
 		WindowEnd:   end.UnixNano(),
 	})

@@ -47,6 +47,7 @@ import (
 	"slider/internal/mapreduce"
 	"slider/internal/memo"
 	"slider/internal/metrics"
+	"slider/internal/obs"
 	"slider/internal/persist"
 	"slider/internal/pig"
 	"slider/internal/scheduler"
@@ -237,6 +238,62 @@ func NewWorker(name, addr string, registry *JobRegistry) (*Worker, error) {
 // the result to Config.MapRunner to run the map phase remotely.
 func NewWorkerPool(jobName string, addrs []string) (*WorkerPool, error) {
 	return dist.NewPool(jobName, addrs)
+}
+
+// Observability (see internal/metrics, internal/obs): per-slide latency
+// histograms, span traces, fault-event counters, and the introspection
+// HTTP server that exposes them.
+type (
+	// SlideObs bundles a runtime's latency histograms and span tracer;
+	// assign one to Config.Obs to instrument every slide.
+	SlideObs = metrics.SlideObs
+	// Tracer records slides as ring-buffered span trees.
+	Tracer = metrics.Tracer
+	// TraceMode selects how many slides the tracer records.
+	TraceMode = metrics.TraceMode
+	// Histogram is a fixed-bucket, mergeable latency histogram.
+	Histogram = metrics.Histogram
+	// FaultStats is a snapshot of fault-tolerance event counters and
+	// RPC latency quantiles.
+	FaultStats = metrics.FaultStats
+	// FaultRecorder accumulates fault-tolerance events; share one
+	// between Config.Faults and the worker pool.
+	FaultRecorder = metrics.FaultRecorder
+	// TreeSnapshot is an immutable structural snapshot of the runtime's
+	// contraction trees (see Runtime.TreeSnapshot, /debug/tree).
+	TreeSnapshot = sliderrt.TreeSnapshot
+	// ObsServer is the introspection HTTP server (/metrics,
+	// /debug/pprof, /debug/slides, /debug/tree).
+	ObsServer = obs.Server
+	// ObsConfig wires an ObsServer's data sources.
+	ObsConfig = obs.Config
+)
+
+// Trace modes.
+const (
+	// TraceFull records every slide.
+	TraceFull = metrics.TraceFull
+	// TraceSampled records one slide in every N.
+	TraceSampled = metrics.TraceSampled
+	// TraceOff records nothing (histograms still populate).
+	TraceOff = metrics.TraceOff
+)
+
+// NewSlideObs returns an instrumentation bundle with a full-recording
+// tracer; assign it to Config.Obs.
+func NewSlideObs() *SlideObs { return metrics.NewSlideObs() }
+
+// StartObsServer serves the introspection endpoints on addr for the
+// sources in cfg (":0" picks a port; any source may be nil).
+func StartObsServer(addr string, cfg ObsConfig) (*ObsServer, error) {
+	return obs.Start(addr, cfg)
+}
+
+// StartObsServerForRuntime serves the introspection endpoints wired to
+// everything rt exposes (histograms, traces, faults, tree snapshots,
+// memo stats).
+func StartObsServerForRuntime(addr string, rt *Runtime) (*ObsServer, error) {
+	return obs.StartForRuntime(addr, rt)
 }
 
 // Streaming drivers (see internal/stream): push records, get windowed
