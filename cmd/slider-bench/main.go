@@ -6,7 +6,10 @@
 //	slider-bench [-scale quick|full] [-exp all|fig7,table3,...] [-out file]
 //
 // Experiment names: fig7 fig8 fig9 fig10 fig11 fig12 fig13 table1 table2
-// table3 table4 table5 ablation.
+// table3 table4 table5 ablation backends.
+//
+// -backends-json writes the DABA-vs-rotating head-to-head sweep (the
+// "backends" experiment) as a standalone JSON document (BENCH_daba.json).
 package main
 
 import (
@@ -33,6 +36,7 @@ func run(args []string) error {
 	expList := fs.String("exp", "all", "comma-separated experiments, or 'all': "+strings.Join(bench.Experiments, " "))
 	outPath := fs.String("out", "", "write results to this file instead of stdout")
 	jsonPath := fs.String("json", "", "also write a machine-readable JSON record to this file")
+	backendsJSON := fs.String("backends-json", "", "write the backends head-to-head sweep as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +81,17 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(out, "JSON record written to %s\n", *jsonPath)
+	}
+	if *backendsJSON != "" {
+		f, err := os.Create(*backendsJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteBackendsJSON(f, scale); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "backends JSON written to %s\n", *backendsJSON)
 	}
 	return nil
 }

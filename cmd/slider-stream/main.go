@@ -57,9 +57,14 @@ func run(args []string) error {
 	window := fs.Int("window", 20, "window length in splits")
 	slide := fs.Int("slide", 5, "slide width in splits (0 = append-only)")
 	top := fs.Int("top", 10, "words to print per window")
+	backendName := fs.String("backend", "auto", "aggregation backend: auto, daba, rotating, coalescing, folding, randomized-folding, strawman")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof, /debug/slides and /debug/tree on this address (empty = no server)")
 	statsEvery := fs.Int("stats", 10, "print a runtime stats line every N windows (0 = never)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, err := slider.ParseBackend(*backendName)
+	if err != nil {
 		return err
 	}
 
@@ -113,13 +118,12 @@ func run(args []string) error {
 		return nil
 	}
 
-	var err error
 	cw, err = slider.NewCountWindow(slider.CountWindowConfig{
 		Job:             wordCount(),
 		RecordsPerSplit: *split,
 		WindowSplits:    *window,
 		SlideSplits:     *slide,
-		Config:          slider.Config{Obs: so},
+		Config:          slider.Config{Obs: so, Backend: backend},
 	}, sink)
 	if err != nil {
 		return err

@@ -177,6 +177,15 @@ func modeConfig(mode sliderrt.Mode, engine sliderrt.Engine, delta, window int, n
 	if mode == sliderrt.Fixed {
 		cfg.BucketSplits = delta
 		cfg.WindowBuckets = window / delta
+		if engine != sliderrt.Strawman {
+			// The paper's Fixed-mode figures measure the rotating
+			// contraction tree; pin it so backend auto-selection (which
+			// prefers the DABA queue for plain fixed-width windows) cannot
+			// change what these experiments measure. The DABA-vs-rotating
+			// comparison has its own experiment (RunBackends /
+			// BENCH_daba.json).
+			cfg.Backend = sliderrt.BackendRotating
+		}
 	}
 	return cfg
 }

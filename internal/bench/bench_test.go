@@ -358,3 +358,71 @@ func TestRunJSON(t *testing.T) {
 			len(decoded.CaseStudies), len(decoded.Randomized), len(decoded.WindowScale))
 	}
 }
+
+// TestBackendsDabaBeatsRotating is the CI smoke for the backend
+// head-to-head: on wordcount at a wide fixed width, the DABA queue must
+// beat the rotating tree on per-slide merge count and heap allocations,
+// its merge count must respect the worst-case constant bound at every
+// width, and the rotating tree's must grow with the window — the O(1)
+// vs O(log w) separation BENCH_daba.json records.
+func TestBackendsDabaBeatsRotating(t *testing.T) {
+	res, text, err := RunBackends(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", text)
+	windows := backendWindows(Quick())
+	// Worst-case constant bound at every width: ≤5 combines per slide
+	// plus the root query, per partition, independent of the window.
+	bound := 6.0 * float64(Quick().Partitions)
+	for _, w := range windows {
+		daba, ok := res.Find("daba", w)
+		if !ok {
+			t.Fatalf("missing daba cell at window %d", w)
+		}
+		if daba.MergesPerSlide > bound {
+			t.Errorf("window %d: daba merges/slide %.1f exceeds constant bound %.1f",
+				w, daba.MergesPerSlide, bound)
+		}
+	}
+	// At the wide fixed width the asymptotics dominate: daba wins on
+	// merges and allocations. (At the narrowest window the rotating
+	// tree's root path is only a few levels deep — that is the crossover
+	// the sweep exists to show.)
+	wide := windows[len(windows)-1]
+	daba, _ := res.Find("daba", wide)
+	rot, ok := res.Find("rotating", wide)
+	if !ok {
+		t.Fatalf("missing rotating cell at window %d", wide)
+	}
+	if daba.MergesPerSlide >= rot.MergesPerSlide {
+		t.Errorf("window %d: daba merges/slide %.1f not below rotating %.1f",
+			wide, daba.MergesPerSlide, rot.MergesPerSlide)
+	}
+	if daba.AllocsPerSlide >= rot.AllocsPerSlide {
+		t.Errorf("window %d: daba allocs/slide %.1f not below rotating %.1f",
+			wide, daba.AllocsPerSlide, rot.AllocsPerSlide)
+	}
+	// The rotating tree's per-slide merges grow with the window; DABA's
+	// stay bounded (checked above), so the gap widens.
+	rotFirst, _ := res.Find("rotating", windows[0])
+	if rot.MergesPerSlide <= rotFirst.MergesPerSlide {
+		t.Errorf("rotating merges/slide did not grow with the window: %.1f at %d vs %.1f at %d",
+			rot.MergesPerSlide, wide, rotFirst.MergesPerSlide, windows[0])
+	}
+}
+
+// TestWriteBackendsJSON checks the BENCH_daba.json document shape.
+func TestWriteBackendsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBackendsJSON(&buf, Quick()); err != nil {
+		t.Fatal(err)
+	}
+	var res BackendsResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if res.App != "wordcount" || len(res.Cells) != 2*len(backendWindows(Quick())) {
+		t.Fatalf("unexpected document: app=%q cells=%d", res.App, len(res.Cells))
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+// DabaLite is a worst-case O(1) in-order sliding-window aggregator
+// (DABA Lite: "In-Order Sliding-Window Aggregation in Worst-Case
+// Constant Time"). It is the sixth backend next to the five contraction
+// trees: for fixed-width windows whose buckets arrive and expire in
+// FIFO order it answers every slide with a small constant number of
+// combiner calls — no tree, no ⌈log2 N⌉ root path — and, unlike the
+// rotating tree, it never re-orders buckets relative to window age, so
+// the merge function only needs to be associative, not commutative.
+//
+// The structure is the classic two-stack queue made amortization-free.
+// A ring buffer q of capacity n holds one aggregate per live bucket,
+// partitioned by five absolute cursors f ≤ l ≤ r ≤ a ≤ b ≤ e into
+//
+//	F = [f,l): q[i] = Σ[i, b)   — suffix aggregates to the flip boundary
+//	L = [l,r): q[i] = Σ[i, m)   — partial suffixes; midSum = Σ[m, b)
+//	R = [r,a): raw bucket values
+//	A = [a,b): q[i] = Σ[i, b)   — already in F form, awaiting relabel
+//	B = [b,e): raw bucket values; backSum = Σ[b, e)
+//
+// where m is the value of b at the last flip. The window aggregate is
+// merge(q[f], backSum): one combiner call. Every insert or evict runs
+// one fixup step that converts at most one R entry into A form and one
+// L entry into F form, so by the time F drains (l reaches b) the back
+// half is fully converted and the cursors flip in O(1) without touching
+// any payload. Worst case: three combiner calls per insert, two per
+// evict, one per query — independent of n.
+//
+// A parallel ring keeps the raw bucket payloads (the aggregate slots
+// overwrite them), which serves checkpointing (BucketPayloads in window
+// order) and restore.
+//
+// DabaLite is not safe for concurrent use.
+type DabaLite[T any] struct {
+	merge MergeFunc[T]
+	n     int // window capacity in buckets
+	q     []T // ring of aggregates, len n, slot(i) = i mod n
+	raw   []T // ring of raw bucket payloads (checkpoint support)
+
+	// Absolute cursors; the live range [f, e) never exceeds n entries,
+	// so i mod n is injective over it.
+	f, l, r, a, b, e uint64
+
+	midSum  T // Σ[m, b) for the L region
+	hasMid  bool
+	backSum T // Σ[b, e) for the B region
+	hasBack bool
+
+	filled bool
+	stats  Stats
+}
+
+// NewDaba returns a DABA Lite aggregator for a window of n buckets.
+func NewDaba[T any](merge MergeFunc[T], n int) *DabaLite[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &DabaLite[T]{
+		merge: merge,
+		n:     n,
+		q:     make([]T, n),
+		raw:   make([]T, n),
+	}
+}
+
+// SetParallelism is a no-op: DABA Lite's per-op work is a handful of
+// combiner calls with strict sequential dependencies. Present so the
+// runtime can treat all backends uniformly.
+func (t *DabaLite[T]) SetParallelism(par int) {}
+
+func (t *DabaLite[T]) slot(i uint64) int { return int(i % uint64(t.n)) }
+
+// Init performs the initial run: it installs the first full window of
+// buckets (len(buckets) must equal n) in window order, oldest first.
+func (t *DabaLite[T]) Init(buckets []T) error {
+	if len(buckets) != t.n {
+		return ErrWindowNotFull
+	}
+	var zero T
+	for i := range t.q {
+		t.q[i] = zero
+		t.raw[i] = zero
+	}
+	t.f, t.l, t.r, t.a, t.b, t.e = 0, 0, 0, 0, 0, 0
+	t.midSum, t.hasMid = zero, false
+	t.backSum, t.hasBack = zero, false
+	for _, b := range buckets {
+		t.push(b)
+	}
+	t.filled = true
+	return nil
+}
+
+// Slide evicts the oldest bucket and inserts bucket as the newest —
+// one window slide of one bucket, worst-case five combiner calls.
+func (t *DabaLite[T]) Slide(bucket T) error {
+	if !t.filled {
+		return ErrWindowNotFull
+	}
+	if err := t.evict(); err != nil {
+		return err
+	}
+	t.push(bucket)
+	return nil
+}
+
+// push appends a raw bucket at the back and runs one fixup step.
+func (t *DabaLite[T]) push(v T) {
+	s := t.slot(t.e)
+	t.q[s] = v
+	t.raw[s] = v
+	t.e++
+	if t.hasBack {
+		t.backSum = t.merge(t.backSum, v)
+		t.stats.Merges++
+	} else {
+		t.backSum = v
+		t.hasBack = true
+	}
+	t.stats.NodesRecomputed++
+	t.fixup()
+}
+
+// evict drops the oldest bucket and runs one fixup step.
+func (t *DabaLite[T]) evict() error {
+	if t.f == t.e {
+		return ErrEmpty
+	}
+	var zero T
+	s := t.slot(t.f)
+	t.q[s] = zero
+	t.raw[s] = zero
+	t.f++
+	t.fixup()
+	return nil
+}
+
+// fixup is the constant-work maintenance step run after every push and
+// evict: flip if the front drained, then convert at most one R entry to
+// A form and grow F by one entry.
+func (t *DabaLite[T]) fixup() {
+	if t.l == t.b {
+		t.flip()
+	}
+	if t.f == t.b {
+		// Front part empty; with b == e after a flip this means the
+		// whole queue is empty.
+		return
+	}
+	// Shrink R: convert its rightmost raw value into A form Σ[i, b).
+	// When the converted entry is the last before b, Σ[i, b) is the raw
+	// value itself — no merge.
+	if t.a != t.r {
+		t.a--
+		if t.a+1 != t.b {
+			sa := t.slot(t.a)
+			t.q[sa] = t.merge(t.q[sa], t.q[t.slot(t.a+1)])
+			t.stats.Merges++
+		}
+		t.stats.NodesRecomputed++
+	}
+	// Grow F: complete L's leftmost partial suffix Σ[i, m) with
+	// midSum = Σ[m, b), or — when L and R are both drained — relabel
+	// the A region into F wholesale by advancing all three cursors
+	// (A entries are already in F form).
+	if t.l != t.r {
+		if t.hasMid {
+			sl := t.slot(t.l)
+			t.q[sl] = t.merge(t.q[sl], t.midSum)
+			t.stats.Merges++
+		}
+		t.stats.NodesRecomputed++
+		t.l++
+	} else {
+		t.l++
+		t.r++
+		t.a++
+		t.stats.NodesReused++
+	}
+}
+
+// flip runs when F drains (l == b): by then L and R are empty and every
+// entry of [f, b) holds Σ[i, b), so the old front becomes the new L,
+// the old back raws become the new R, and backSum becomes midSum — a
+// pure cursor relabeling, no payload work.
+func (t *DabaLite[T]) flip() {
+	t.l = t.f
+	t.r = t.b
+	t.a = t.e
+	t.b = t.e
+	t.midSum, t.hasMid = t.backSum, t.hasBack
+	var zero T
+	t.backSum, t.hasBack = zero, false
+}
+
+// Root returns the combined payload of the whole window: at most one
+// combiner call (front suffix aggregate with the back running sum).
+func (t *DabaLite[T]) Root() (T, bool) {
+	if t.f == t.e {
+		var zero T
+		return zero, false
+	}
+	if t.f == t.b {
+		// Defensive: whole window in the back region.
+		return t.backSum, t.hasBack
+	}
+	front := t.q[t.slot(t.f)]
+	if !t.hasBack {
+		return front, true
+	}
+	t.stats.Merges++
+	return t.merge(front, t.backSum), true
+}
+
+// Buckets returns the number of buckets in the window.
+func (t *DabaLite[T]) Buckets() int { return t.n }
+
+// Height returns 0: there is no tree.
+func (t *DabaLite[T]) Height() int { return 0 }
+
+// Len returns the number of live buckets.
+func (t *DabaLite[T]) Len() int { return int(t.e - t.f) }
+
+// Stats returns the accumulated work counters.
+func (t *DabaLite[T]) Stats() Stats { return t.stats }
+
+// ResetStats clears the work counters.
+func (t *DabaLite[T]) ResetStats() { t.stats = Stats{} }
+
+// NodeCount returns the number of materialized payloads: one aggregate
+// and one raw value per live bucket, plus the two running sums.
+func (t *DabaLite[T]) NodeCount() int {
+	c := 2 * t.Len()
+	if t.hasMid {
+		c++
+	}
+	if t.hasBack {
+		c++
+	}
+	return c
+}
+
+// ForEachPayload visits every materialized payload (space accounting):
+// the aggregate and raw rings over the live range plus the running sums.
+func (t *DabaLite[T]) ForEachPayload(fn func(T)) {
+	for i := t.f; i != t.e; i++ {
+		fn(t.q[t.slot(i)])
+		fn(t.raw[t.slot(i)])
+	}
+	if t.hasMid {
+		fn(t.midSum)
+	}
+	if t.hasBack {
+		fn(t.backSum)
+	}
+}
+
+// BucketPayloads returns the raw bucket payloads in window order,
+// oldest first (checkpointing support). It returns nil before the
+// window fills.
+func (t *DabaLite[T]) BucketPayloads() ([]T, bool) {
+	if !t.filled {
+		return nil, false
+	}
+	out := make([]T, 0, t.Len())
+	for i := t.f; i != t.e; i++ {
+		out = append(out, t.raw[t.slot(i)])
+	}
+	return out, true
+}
+
+// Restore reinstates a checkpointed window from its raw buckets in
+// window order, oldest first. Work counters restart from zero (plus the
+// rebuild itself), so a restored aggregator's Stats match a fresh one
+// restored from the same checkpoint.
+func (t *DabaLite[T]) Restore(buckets []T) error {
+	t.stats = Stats{}
+	return t.Init(buckets)
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// concatMerge is deliberately non-commutative: it appends b after a, so
+// any backend that re-orders buckets relative to window age produces a
+// detectably different sequence.
+func concatMerge(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// dabaOracle folds the live raw values left to right.
+func dabaOracle(live [][]int) []int {
+	if len(live) == 0 {
+		return nil
+	}
+	out := append([]int{}, live[0]...)
+	for _, v := range live[1:] {
+		out = append(out, v...)
+	}
+	return out
+}
+
+func checkDabaRoot(t *testing.T, d *DabaLite[[]int], live [][]int, step int) {
+	t.Helper()
+	want := dabaOracle(live)
+	got, ok := d.Root()
+	if len(live) == 0 {
+		if ok {
+			t.Fatalf("step %d: Root ok on empty queue, got %v", step, got)
+		}
+		return
+	}
+	if !ok {
+		t.Fatalf("step %d: Root not ok with %d live buckets", step, len(live))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("step %d: Root = %v, want %v (order-preserving left fold)", step, got, want)
+	}
+}
+
+// TestDabaDifferentialVsLeftFold drives random push/evict sequences
+// against a naive left fold with a non-commutative combiner, checking
+// the aggregate after every operation and the worst-case combiner-call
+// bounds (≤3 per push, ≤2 per evict, ≤1 per query).
+func TestDabaDifferentialVsLeftFold(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 32} {
+		rng := rand.New(rand.NewSource(int64(n) * 7919))
+		d := NewDaba(concatMerge, n)
+		var live [][]int
+		next := 0
+		for step := 0; step < 2000; step++ {
+			doPush := len(live) == 0 || (len(live) < n && rng.Intn(2) == 0)
+			before := d.Stats().Merges
+			if doPush {
+				v := []int{next}
+				next++
+				d.push(v)
+				live = append(live, v)
+				if got := d.Stats().Merges - before; got > 3 {
+					t.Fatalf("n=%d step %d: push cost %d merges, worst case is 3", n, step, got)
+				}
+			} else {
+				if err := d.evict(); err != nil {
+					t.Fatalf("n=%d step %d: evict: %v", n, step, err)
+				}
+				live = live[1:]
+				if got := d.Stats().Merges - before; got > 2 {
+					t.Fatalf("n=%d step %d: evict cost %d merges, worst case is 2", n, step, got)
+				}
+			}
+			before = d.Stats().Merges
+			checkDabaRoot(t, d, live, step)
+			if got := d.Stats().Merges - before; got > 1 {
+				t.Fatalf("n=%d step %d: query cost %d merges, worst case is 1", n, step, got)
+			}
+			if d.Len() != len(live) {
+				t.Fatalf("n=%d step %d: Len = %d, want %d", n, step, d.Len(), len(live))
+			}
+		}
+	}
+}
+
+// TestDabaSlide exercises the Init + Slide surface the runtime uses:
+// constant combiner work per slide at every window size.
+func TestDabaSlide(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 64, 256} {
+		d := NewDaba(concatMerge, n)
+		if err := d.Slide([]int{0}); err != ErrWindowNotFull {
+			t.Fatalf("n=%d: Slide before Init: err = %v, want ErrWindowNotFull", n, err)
+		}
+		if err := d.Init(make([][]int, n+1)); err != ErrWindowNotFull {
+			t.Fatalf("n=%d: Init with %d buckets: err = %v, want ErrWindowNotFull", n, n+1, err)
+		}
+		var live [][]int
+		for i := 0; i < n; i++ {
+			live = append(live, []int{i})
+		}
+		if err := d.Init(live); err != nil {
+			t.Fatalf("n=%d: Init: %v", n, err)
+		}
+		checkDabaRoot(t, d, live, -1)
+		for step := 0; step < 200; step++ {
+			v := []int{n + step}
+			before := d.Stats().Merges
+			if err := d.Slide(v); err != nil {
+				t.Fatalf("n=%d step %d: Slide: %v", n, step, err)
+			}
+			if got := d.Stats().Merges - before; got > 5 {
+				t.Fatalf("n=%d step %d: slide cost %d merges, worst case is 5", n, step, got)
+			}
+			live = append(live[1:], v)
+			checkDabaRoot(t, d, live, step)
+		}
+	}
+}
+
+// TestDabaBucketPayloadsAndRestore checks that BucketPayloads returns
+// the raw buckets in window order and that a restored aggregator
+// matches a fresh one built from the same checkpoint: same root, same
+// fingerprint, same (rebuild-only) stats.
+func TestDabaBucketPayloadsAndRestore(t *testing.T) {
+	n := 6
+	d := NewDaba(concatMerge, n)
+	var live [][]int
+	for i := 0; i < n; i++ {
+		live = append(live, []int{i})
+	}
+	if err := d.Init(live); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 17; i++ {
+		v := []int{n + i}
+		if err := d.Slide(v); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live[1:], v)
+	}
+	got, ok := d.BucketPayloads()
+	if !ok || !reflect.DeepEqual(got, live) {
+		t.Fatalf("BucketPayloads = %v, %v; want %v in window order", got, ok, live)
+	}
+
+	fp := func(p []int) uint64 {
+		h := uint64(0x12345)
+		for _, v := range p {
+			h = fpMix(h, uint64(v))
+		}
+		return h
+	}
+	inPlace := d
+	if err := inPlace.Restore(got); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewDaba(concatMerge, n)
+	if err := fresh.Restore(got); err != nil {
+		t.Fatal(err)
+	}
+	if inPlace.Stats() != fresh.Stats() {
+		t.Fatalf("restored stats diverge: in-place %+v, fresh %+v", inPlace.Stats(), fresh.Stats())
+	}
+	if inPlace.FingerprintWith(fp) != fresh.FingerprintWith(fp) {
+		t.Fatal("restored fingerprints diverge between in-place and fresh restore")
+	}
+	checkDabaRoot(t, fresh, live, -1)
+}
+
+// TestDabaFingerprintTracksState checks that the fingerprint is
+// deterministic across replicas with identical histories and changes
+// when the window contents change.
+func TestDabaFingerprintTracksState(t *testing.T) {
+	fp := func(p []int) uint64 {
+		h := uint64(0x9dc5)
+		for _, v := range p {
+			h = fpMix(h, uint64(v))
+		}
+		return h
+	}
+	build := func(vals []int) *DabaLite[[]int] {
+		d := NewDaba(concatMerge, 4)
+		var buckets [][]int
+		for _, v := range vals[:4] {
+			buckets = append(buckets, []int{v})
+		}
+		if err := d.Init(buckets); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals[4:] {
+			if err := d.Slide([]int{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	a := build([]int{1, 2, 3, 4, 5, 6})
+	b := build([]int{1, 2, 3, 4, 5, 6})
+	c := build([]int{1, 2, 3, 4, 5, 7})
+	if a.FingerprintWith(fp) != b.FingerprintWith(fp) {
+		t.Fatal("identical histories fingerprint differently")
+	}
+	if a.FingerprintWith(fp) == c.FingerprintWith(fp) {
+		t.Fatal("different window contents fingerprint identically")
+	}
+}
+
+// TestDabaShape checks the structural snapshot surface.
+func TestDabaShape(t *testing.T) {
+	d := NewDaba(concatMerge, 3)
+	s := d.Shape()
+	if s.Variant != "daba" || s.Live != 0 || s.Height != 0 {
+		t.Fatalf("empty shape = %+v", s)
+	}
+	if err := d.Init([][]int{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	s = d.Shape()
+	if s.Variant != "daba" || s.Live != 3 || s.Height != 0 || s.Nodes != d.NodeCount() {
+		t.Fatalf("filled shape = %+v (NodeCount %d)", s, d.NodeCount())
+	}
+	if len(s.Levels) != 1 || s.Levels[0] != 3 {
+		t.Fatalf("Levels = %v, want [3]", s.Levels)
+	}
+}

@@ -69,6 +69,16 @@ func (t *RotatingTree[T]) Shape() TreeShape {
 	return s
 }
 
+// Shape returns the DABA Lite aggregator's structural snapshot (height
+// 0: a flat ring of per-bucket aggregates, no tree).
+func (t *DabaLite[T]) Shape() TreeShape {
+	s := TreeShape{Variant: "daba", Live: t.Len(), Nodes: t.NodeCount()}
+	if s.Live > 0 {
+		s.Levels = []int{s.Live}
+	}
+	return s
+}
+
 // Shape returns the coalescing accumulator's structural snapshot (height
 // 0: the window collapses to at most a root and a pending payload).
 func (c *CoalescingTree[T]) Shape() TreeShape {

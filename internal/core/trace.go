@@ -87,6 +87,35 @@ func (t *RotatingTree[T]) FingerprintWith(fp func(T) uint64) uint64 {
 	return h
 }
 
+// FingerprintWith hashes the DABA Lite aggregator: the cursor offsets
+// relative to the front (restore-friendly: absolute positions reset on
+// rebuild), the running sums, and both rings over the live range in
+// window order. Two aggregators that went through the same operations
+// fingerprint identically.
+func (t *DabaLite[T]) FingerprintWith(fp func(T) uint64) uint64 {
+	h := uint64(0x6c62272e07bb0147)
+	h = fpMix(h, uint64(t.n))
+	h = fpBool(h, t.filled)
+	h = fpMix(h, t.l-t.f)
+	h = fpMix(h, t.r-t.f)
+	h = fpMix(h, t.a-t.f)
+	h = fpMix(h, t.b-t.f)
+	h = fpMix(h, t.e-t.f)
+	h = fpBool(h, t.hasMid)
+	if t.hasMid {
+		h = fpMix(h, fp(t.midSum))
+	}
+	h = fpBool(h, t.hasBack)
+	if t.hasBack {
+		h = fpMix(h, fp(t.backSum))
+	}
+	for i := t.f; i != t.e; i++ {
+		h = fpMix(h, fp(t.q[t.slot(i)]))
+		h = fpMix(h, fp(t.raw[t.slot(i)]))
+	}
+	return h
+}
+
 // FingerprintWith hashes the coalescing tree's root and pending payloads.
 func (c *CoalescingTree[T]) FingerprintWith(fp func(T) uint64) uint64 {
 	h := uint64(0x6c62272e07bb0144)

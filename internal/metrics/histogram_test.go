@@ -185,3 +185,33 @@ func TestHistogramSnapshotString(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramClampsNonPositiveDurations is a regression test for
+// negative and zero observations (monotonic-clock regressions, coarse
+// clocks rounding to zero): they must land in bucket 0 — never misindex
+// or wrap to the tail bucket — and must not drive Sum negative.
+func TestHistogramClampsNonPositiveDurations(t *testing.T) {
+	for _, ns := range []int64{0, -1, -histBase, -1 << 40, -9223372036854775808} {
+		if got := histIndex(ns); got != 0 {
+			t.Fatalf("histIndex(%d) = %d, want bucket 0", ns, got)
+		}
+	}
+	var h Histogram
+	h.Observe(-3 * time.Second)
+	h.Observe(0)
+	h.ObserveNs(-1)
+	h.ObserveNs(1) // 1ns: also bucket 0
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	if s.Counts[0] != 4 {
+		t.Fatalf("bucket 0 holds %d observations, want all 4 (buckets: %v)", s.Counts[0], s.Counts)
+	}
+	if h.Sum() < 0 {
+		t.Fatalf("Sum = %v, negative after clamped observations", h.Sum())
+	}
+	if q := h.Quantile(1.0); q > HistogramUpperBound(0) {
+		t.Fatalf("p100 = %v beyond bucket 0's bound %v", q, HistogramUpperBound(0))
+	}
+}

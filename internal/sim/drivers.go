@@ -86,6 +86,8 @@ func newTreeDriver(kind Kind, par int, bug core.Buggify) treeDriver {
 		return &coalDriver{split: kind == CoalescingSplit}
 	case Strawman:
 		return &strawDriver{par: par}
+	case Daba:
+		return &dabaDriver{}
 	default:
 		panic(fmt.Sprintf("sim: unknown kind %v", kind))
 	}
@@ -264,6 +266,56 @@ func (d *rotDriver) restore(snap any) error {
 		return d.t.PrepareBackground()
 	}
 	return nil
+}
+
+// --- daba --------------------------------------------------------------
+
+// dabaSnap is a DABA checkpoint: the raw bucket payloads in window order
+// (the queue keeps no rotation cursor).
+type dabaSnap struct {
+	buckets []pay
+	n       int
+}
+
+type dabaDriver struct {
+	t *core.DabaLite[pay]
+	n int
+}
+
+func (d *dabaDriver) init(ids []uint64) error {
+	d.n = len(ids)
+	d.t = core.NewDaba(pmerge, d.n)
+	return d.t.Init(singletons(ids))
+}
+
+func (d *dabaDriver) slide(drop int, ids []uint64) error {
+	if drop != len(ids) {
+		return fmt.Errorf("sim: daba slide needs drop == add (got %d, %d)", drop, len(ids))
+	}
+	for _, b := range singletons(ids) {
+		if err := d.t.Slide(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *dabaDriver) root() (pay, bool)   { return d.t.Root() }
+func (d *dabaDriver) stats() core.Stats   { return d.t.Stats() }
+func (d *dabaDriver) fingerprint() uint64 { return d.t.FingerprintWith(pfp) }
+
+func (d *dabaDriver) checkpoint() any {
+	buckets, _ := d.t.BucketPayloads()
+	return dabaSnap{buckets: buckets, n: d.n}
+}
+
+func (d *dabaDriver) restore(snap any) error {
+	s := snap.(dabaSnap)
+	if d.t == nil {
+		d.n = s.n
+		d.t = core.NewDaba(pmerge, s.n)
+	}
+	return d.t.Restore(s.buckets)
 }
 
 // --- coalescing --------------------------------------------------------

@@ -225,6 +225,12 @@ func checkStep(tr Trace, step int, drivers []treeDriver, pars []int, window []ui
 	if err := checkOracle(tr, step, drivers[0], window); err != nil {
 		return err
 	}
+	// Query every replica's root before comparing counters: some
+	// structures do work at query time (DABA combines the front with the
+	// back sum), and checkOracle only queried replica 0.
+	for i := 1; i < len(drivers); i++ {
+		drivers[i].root()
+	}
 	fp0 := drivers[0].fingerprint()
 	st0 := drivers[0].stats()
 	for i := 1; i < len(drivers); i++ {
@@ -273,7 +279,7 @@ func checkOracle(tr Trace, step int, d treeDriver, window []uint64) error {
 			Msg: fmt.Sprintf("window has %d items but tree reports no root", len(window))}
 	}
 	g, w := got, want
-	if tr.Kind.fixedWidth() {
+	if tr.Kind.reorders() {
 		g = append(pay(nil), got...)
 		w = append(pay(nil), want...)
 		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
@@ -306,6 +312,10 @@ func mergeBound(kind Kind, drop, add, liveAfter int) int64 {
 	case Rotating, RotatingSplit:
 		// One root path per rotated bucket, plus split pre-processing.
 		return 8 * (delta + 1) * h
+	case Daba:
+		// Worst-case constant per bucket: ≤5 combines per single-bucket
+		// slide plus one root query — no log factor at all.
+		return 8 * (delta + 1)
 	case Randomized:
 		// Expected O(log) per changed path; generous constant for the
 		// probabilistic grouping.

@@ -103,9 +103,18 @@ func runtimeConfig(tr Trace, par int, gcAll *bool) (sliderrt.Config, error) {
 		cfg.Randomized = true
 	case Rotating, RotatingSplit:
 		cfg.Mode = sliderrt.Fixed
+		// Pin the rotating tree explicitly: backend auto-selection would
+		// otherwise route a plain Fixed window onto the DABA queue and
+		// these kinds would stop covering the rotating structure.
+		cfg.Backend = sliderrt.BackendRotating
 		cfg.BucketSplits = runtimeBucketSplits
 		cfg.WindowBuckets = tr.Initial
 		cfg.SplitProcessing = tr.Kind == RotatingSplit
+	case Daba:
+		cfg.Mode = sliderrt.Fixed
+		cfg.Backend = sliderrt.BackendDaba
+		cfg.BucketSplits = runtimeBucketSplits
+		cfg.WindowBuckets = tr.Initial
 	case Coalescing, CoalescingSplit:
 		cfg.Mode = sliderrt.Append
 		cfg.SplitProcessing = tr.Kind == CoalescingSplit

@@ -119,3 +119,20 @@ func TestReplayLineRoundTrip(t *testing.T) {
 	}
 	t.Logf("%s", line)
 }
+
+// TestDabaRuntimeParallelismMatrix pins the new DABA backend against the
+// from-scratch MapReduce oracle at parallelism 1, 4, and 8 — including the
+// trace's checkpoint/restore round-trips through the real persist codec —
+// at a longer horizon than the all-kinds runtime matrix.
+func TestDabaRuntimeParallelismMatrix(t *testing.T) {
+	steps := 80
+	if testing.Short() {
+		steps = 30
+	}
+	for _, seed := range simSeeds {
+		tr := Generate(Daba, seed, steps)
+		if err := Run(tr, Options{Layer: LayerRuntime, Pars: []int{1, 4, 8}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

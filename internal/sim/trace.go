@@ -21,6 +21,7 @@ const (
 	Coalescing
 	CoalescingSplit
 	Strawman
+	Daba
 )
 
 // String returns the Go identifier of the kind (used by FormatRepro).
@@ -40,21 +41,29 @@ func (k Kind) String() string {
 		return "CoalescingSplit"
 	case Strawman:
 		return "Strawman"
+	case Daba:
+		return "Daba"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // fixedWidth reports whether the kind slides in fixed-width bucket units
-// (rotating trees).
-func (k Kind) fixedWidth() bool { return k == Rotating || k == RotatingSplit }
+// (rotating trees and the DABA queue).
+func (k Kind) fixedWidth() bool { return k == Rotating || k == RotatingSplit || k == Daba }
+
+// reorders reports whether the kind's root may permute bucket age relative
+// to window order (rotating trees, whose merge must therefore be
+// commutative). Order-preserving fixed-width kinds like Daba are checked
+// against the exact window sequence.
+func (k Kind) reorders() bool { return k == Rotating || k == RotatingSplit }
 
 // appendOnly reports whether the kind's window only grows.
 func (k Kind) appendOnly() bool { return k == Coalescing || k == CoalescingSplit }
 
 // Kinds lists every trace kind (the full tree family).
 func Kinds() []Kind {
-	return []Kind{Folding, Randomized, Rotating, RotatingSplit, Coalescing, CoalescingSplit, Strawman}
+	return []Kind{Folding, Randomized, Rotating, RotatingSplit, Coalescing, CoalescingSplit, Strawman, Daba}
 }
 
 // OpKind tags one trace operation.

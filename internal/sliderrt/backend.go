@@ -1,0 +1,237 @@
+package sliderrt
+
+import (
+	"fmt"
+
+	"slider/internal/mapreduce"
+	"slider/internal/metrics"
+)
+
+// Backend names the aggregation structure behind a runtime's reduce
+// phase. The window mode picks the family (§3–§4); the backend picks
+// the concrete structure inside it. BackendAuto — the default — lets
+// the selection layer resolve the cheapest legal structure for the
+// query: combiner properties (from the job declaration, property-tested
+// by mapreduce.CheckJob) plus window pattern.
+//
+// The selection matrix:
+//
+//	Mode      SplitProcessing  Commutative  → backend
+//	Fixed     no               any          → BackendDaba (O(1)/slide)
+//	Fixed     yes              yes          → BackendRotating (O(log N))
+//	Fixed     yes              no           → error
+//	Append    —                any          → BackendCoalescing
+//	Variable  —                any          → BackendFolding
+//	                                          (BackendRandomizedFolding
+//	                                          with Config.Randomized)
+//	Engine Strawman              any        → BackendStrawman
+//
+// An explicit Backend overrides the auto pick but is still validated
+// against the mode and the combiner: a non-commutative combiner can
+// never be routed to the rotating tree (its circular buckets re-order
+// window age relative to tree position), and the DABA backend — strictly
+// in-order — never requires commutativity but cannot serve split
+// processing or variable-width windows.
+type Backend int
+
+// Backends.
+const (
+	// BackendAuto resolves to the cheapest legal backend for the query.
+	BackendAuto Backend = iota
+	// BackendDaba is the DABA Lite worst-case O(1) in-order aggregator
+	// (fixed-width windows; associative combiner suffices).
+	BackendDaba
+	// BackendRotating is the rotating contraction tree of §4.1
+	// (fixed-width windows; requires a commutative combiner; the only
+	// backend supporting split processing in Fixed mode).
+	BackendRotating
+	// BackendCoalescing is the append-only coalescing tree of §4.2.
+	BackendCoalescing
+	// BackendFolding is the folding tree of §3.1 (variable windows).
+	BackendFolding
+	// BackendRandomizedFolding is the randomized folding tree of §3.2.
+	BackendRandomizedFolding
+	// BackendStrawman is the memoization-only baseline of §2.
+	BackendStrawman
+)
+
+// String names the backend as it appears in flags and logs.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendDaba:
+		return "daba"
+	case BackendRotating:
+		return "rotating"
+	case BackendCoalescing:
+		return "coalescing"
+	case BackendFolding:
+		return "folding"
+	case BackendRandomizedFolding:
+		return "randomized-folding"
+	case BackendStrawman:
+		return "strawman"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend parses a backend name as printed by String (the daemons'
+// -backend flag).
+func ParseBackend(s string) (Backend, error) {
+	for _, b := range []Backend{BackendAuto, BackendDaba, BackendRotating,
+		BackendCoalescing, BackendFolding, BackendRandomizedFolding, BackendStrawman} {
+		if s == b.String() {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("sliderrt: unknown backend %q", s)
+}
+
+// resolveBackend maps the configuration and the job's declared combiner
+// properties to a concrete backend, validating an explicit override
+// against both. It normalizes Config.Randomized when the randomized
+// backend is chosen explicitly, so downstream consumers (checkpoints)
+// see a consistent flag.
+func (c *Config) resolveBackend(job *mapreduce.Job) (Backend, error) {
+	if c.Engine == Strawman {
+		switch c.Backend {
+		case BackendAuto, BackendStrawman:
+			return BackendStrawman, nil
+		}
+		return 0, fmt.Errorf("%w: engine Strawman cannot run backend %v", ErrBadBackend, c.Backend)
+	}
+	switch c.Mode {
+	case Append:
+		switch c.Backend {
+		case BackendAuto, BackendCoalescing:
+			return BackendCoalescing, nil
+		}
+		return 0, fmt.Errorf("%w: Append mode requires the coalescing backend, not %v", ErrBadBackend, c.Backend)
+	case Variable:
+		switch c.Backend {
+		case BackendAuto:
+			if c.Randomized {
+				return BackendRandomizedFolding, nil
+			}
+			return BackendFolding, nil
+		case BackendFolding:
+			if c.Randomized {
+				return 0, fmt.Errorf("%w: Config.Randomized conflicts with explicit backend %v", ErrBadBackend, c.Backend)
+			}
+			return BackendFolding, nil
+		case BackendRandomizedFolding:
+			c.Randomized = true
+			return BackendRandomizedFolding, nil
+		}
+		return 0, fmt.Errorf("%w: Variable mode requires a folding backend, not %v", ErrBadBackend, c.Backend)
+	case Fixed:
+		switch c.Backend {
+		case BackendAuto:
+			if c.SplitProcessing {
+				// Split processing pre-combines a bucket's tree siblings —
+				// a rotating-tree feature.
+				if !job.Commutative {
+					return 0, fmt.Errorf("%w: job %q: split processing needs the rotating tree, which requires a commutative combiner", ErrBadBackend, job.Name)
+				}
+				return BackendRotating, nil
+			}
+			// Fixed-width, in-order, no split processing: the O(1) fast
+			// path. In-order aggregation never re-orders buckets, so a
+			// non-commutative (merely associative) combiner is fine.
+			return BackendDaba, nil
+		case BackendDaba:
+			if c.SplitProcessing {
+				return 0, fmt.Errorf("%w: split processing is a rotating-tree feature; the DABA backend does not support it", ErrBadBackend)
+			}
+			return BackendDaba, nil
+		case BackendRotating:
+			if !job.Commutative {
+				return 0, fmt.Errorf("%w: job %q: rotating trees require a commutative combiner", ErrBadBackend, job.Name)
+			}
+			return BackendRotating, nil
+		}
+		return 0, fmt.Errorf("%w: Fixed mode requires the daba or rotating backend, not %v", ErrBadBackend, c.Backend)
+	}
+	return 0, ErrBadMode
+}
+
+// Backend reports the resolved — possibly live-switched — backend.
+func (rt *Runtime) Backend() Backend { return rt.backend }
+
+// maybeSwitchBackend consults the live-switch hook at the end of a
+// completed slide. The hook sees the current backend and a snapshot of
+// the contract-phase latency histogram (PR 5's obs layer) and returns
+// the backend it wants; the runtime follows it only across the legal
+// Fixed-mode pair (daba ↔ rotating, subject to the same property gates
+// as resolveBackend) and rebuilds the partition structures in place
+// from their raw buckets. Running after the slide's stats deltas are
+// taken keeps per-run TreeStats exact: the next slide reads a fresh
+// baseline.
+func (rt *Runtime) maybeSwitchBackend() {
+	hook := rt.cfg.SwitchHook
+	if hook == nil || rt.cfg.Mode != Fixed || rt.cfg.Engine != SelfAdjusting || rt.hasPending {
+		return
+	}
+	var contract metrics.HistogramSnapshot
+	if o := rt.cfg.Obs; o != nil {
+		contract = o.Contract.Snapshot()
+	}
+	want := hook(rt.backend, contract)
+	if want == rt.backend || (want != BackendDaba && want != BackendRotating) {
+		return
+	}
+	c2 := rt.cfg
+	c2.Backend = want
+	if _, err := c2.resolveBackend(rt.job); err != nil {
+		return // illegal target (non-commutative combiner, split mode): stay put
+	}
+	rt.rebuildFixedBackend(want)
+}
+
+// rebuildFixedBackend re-homes every partition's window onto the target
+// Fixed-mode backend, carrying the raw buckets over in window order
+// (oldest first). Tree work counters restart with the rebuild, exactly
+// as on a checkpoint restore.
+func (rt *Runtime) rebuildFixedBackend(want Backend) {
+	buckets := make([][]Payload, rt.parts)
+	for p := 0; p < rt.parts; p++ {
+		switch rt.backend {
+		case BackendDaba:
+			bs, ok := rt.daba[p].BucketPayloads()
+			if !ok {
+				return
+			}
+			buckets[p] = bs
+		case BackendRotating:
+			bs, ok := rt.rot[p].BucketPayloads()
+			if !ok {
+				return
+			}
+			// Leaf-position order → window order: the victim is the
+			// oldest bucket.
+			v := rt.rot[p].Victim()
+			buckets[p] = append(append([]Payload{}, bs[v:]...), bs[:v]...)
+		default:
+			return
+		}
+	}
+	rt.backend = want
+	rt.allocTrees()
+	for p := 0; p < rt.parts; p++ {
+		switch want {
+		case BackendDaba:
+			if err := rt.daba[p].Restore(buckets[p]); err != nil {
+				panic(fmt.Sprintf("sliderrt: backend switch rebuild: %v", err))
+			}
+		case BackendRotating:
+			// Window-order buckets with victim 0: leaf 0 holds the
+			// oldest bucket and is replaced by the next slide.
+			if err := rt.rot[p].RestoreAt(buckets[p], 0); err != nil {
+				panic(fmt.Sprintf("sliderrt: backend switch rebuild: %v", err))
+			}
+		}
+	}
+	rt.snapReq.Store(true)
+}

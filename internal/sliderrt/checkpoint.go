@@ -16,10 +16,16 @@ const checkpointVersion = 1
 // window bookkeeping plus, per partition, the minimal tree state from
 // which the contraction structure is rebuilt on restore.
 type checkpointState struct {
-	Version       int
-	Mode          Mode
-	Engine        Engine
-	Randomized    bool
+	Version    int
+	Mode       Mode
+	Engine     Engine
+	Randomized bool
+	// Backend records the resolved aggregation backend: it decides how a
+	// Fixed-mode partition's Buckets are interpreted (window order for
+	// daba, leaf-position order plus Victim for rotating) and lets a
+	// live-switched runtime resume on the structure it was using.
+	// Zero (BackendAuto, pre-backend checkpoints) defers to resolution.
+	Backend       Backend
 	BucketSplits  int
 	WindowBuckets int
 	Seq           uint64
@@ -60,6 +66,7 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 		Mode:          rt.cfg.Mode,
 		Engine:        rt.cfg.Engine,
 		Randomized:    rt.cfg.Randomized,
+		Backend:       rt.backend,
 		BucketSplits:  rt.cfg.BucketSplits,
 		WindowBuckets: rt.cfg.WindowBuckets,
 		Seq:           rt.seq,
@@ -80,8 +87,12 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 			pc.Root, pc.HasRoot = rt.coal[p].Root()
 			pc.Pending, pc.HasPending = rt.coal[p].PendingPayload()
 		case rt.cfg.Mode == Fixed:
-			pc.Buckets, pc.Filled = rt.rot[p].BucketPayloads()
-			pc.Victim = rt.rot[p].Victim()
+			if rt.backend == BackendDaba {
+				pc.Buckets, pc.Filled = rt.daba[p].BucketPayloads()
+			} else {
+				pc.Buckets, pc.Filled = rt.rot[p].BucketPayloads()
+				pc.Victim = rt.rot[p].Victim()
+			}
 		case rt.cfg.Randomized:
 			for _, item := range rt.rnd[p].Items() {
 				pc.LeafIDs = append(pc.LeafIDs, item.ID)
@@ -134,6 +145,23 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 		return nil, fmt.Errorf("sliderrt: restore: partition count mismatch (checkpoint %d, job %d)",
 			st.Parts, rt.parts)
 	}
+	if st.Backend != BackendAuto && st.Backend != rt.backend {
+		// The checkpointed runtime ran a different backend than this
+		// configuration resolves to (pinned writer, or a live switch
+		// before the checkpoint). An explicit conflicting override is an
+		// error; under BackendAuto the restore follows the checkpoint,
+		// subject to the same property gates as New.
+		if cfg.Backend != BackendAuto {
+			return nil, fmt.Errorf("sliderrt: restore: backend mismatch (checkpoint %v, config %v)",
+				st.Backend, rt.backend)
+		}
+		probe := rt.cfg
+		probe.Backend = st.Backend
+		if _, err := probe.resolveBackend(job); err != nil {
+			return nil, fmt.Errorf("sliderrt: restore: %w", err)
+		}
+		rt.backend = st.Backend
+	}
 	rt.allocTrees()
 	for p := 0; p < rt.parts; p++ {
 		pc := &st.Partitions[p]
@@ -150,6 +178,12 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 		case rt.cfg.Mode == Fixed:
 			if !pc.Filled {
 				return nil, fmt.Errorf("sliderrt: restore: partition %d window not filled", p)
+			}
+			if rt.backend == BackendDaba {
+				if err := rt.daba[p].Restore(pc.Buckets); err != nil {
+					return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
+				}
+				break
 			}
 			if err := rt.rot[p].RestoreAt(pc.Buckets, pc.Victim); err != nil {
 				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)

@@ -30,7 +30,8 @@ const (
 	// grows. Uses coalescing contraction trees (§4.2).
 	Append Mode = iota + 1
 	// Fixed is the fixed-width mode: every slide drops exactly as many
-	// splits as it adds. Uses rotating contraction trees (§4.1).
+	// splits as it adds. Served by the DABA Lite O(1) queue or the
+	// rotating contraction tree (§4.1) — see Backend.
 	Fixed
 	// Variable is the general mode: the window may shrink and grow by
 	// arbitrary, different amounts. Uses folding trees (§3.1) or
@@ -73,6 +74,22 @@ type Config struct {
 	// Randomized switches Variable mode to the randomized folding tree
 	// of §3.2.
 	Randomized bool
+	// Backend overrides the automatic backend selection (see the Backend
+	// type's selection matrix). The zero value, BackendAuto, resolves to
+	// the cheapest structure legal for the mode and the job's declared
+	// combiner properties — for fixed-width in-order windows without
+	// split processing that is the DABA Lite O(1) aggregator. An
+	// explicit backend incompatible with the mode or combiner makes New
+	// fail with ErrBadBackend.
+	Backend Backend
+	// SwitchHook, when set on a Fixed-mode runtime, is consulted after
+	// every completed slide with the current backend and a snapshot of
+	// the contract-phase latency histogram (Obs.Contract; zero-valued
+	// when Obs is nil). Returning a different backend asks the runtime
+	// to switch live between BackendDaba and BackendRotating; the window
+	// state carries over and the switch is skipped when the target is
+	// illegal for the job. Any other return value is ignored.
+	SwitchHook func(cur Backend, contract metrics.HistogramSnapshot) Backend
 	// SplitProcessing enables the background pre-processing of §4 for
 	// Append and Fixed modes.
 	SplitProcessing bool
@@ -128,6 +145,7 @@ type Config struct {
 // Validation errors.
 var (
 	ErrBadMode      = errors.New("sliderrt: invalid or missing window mode")
+	ErrBadBackend   = errors.New("sliderrt: backend incompatible with the window mode or combiner")
 	ErrBadBuckets   = errors.New("sliderrt: Fixed mode requires positive BucketSplits and WindowBuckets")
 	ErrBadAdvance   = errors.New("sliderrt: advance shape does not match the window mode")
 	ErrNotInitial   = errors.New("sliderrt: Advance before Initial")

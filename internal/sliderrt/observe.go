@@ -116,6 +116,10 @@ func (rt *Runtime) buildTreeSnapshot() *TreeSnapshot {
 		for _, t := range rt.rot {
 			add(t.Shape(), t.FingerprintWith(pfp))
 		}
+	case rt.daba != nil:
+		for _, t := range rt.daba {
+			add(t.Shape(), t.FingerprintWith(pfp))
+		}
 	case rt.rnd != nil:
 		for _, t := range rt.rnd {
 			add(t.Shape(), t.FingerprintWith(pfp))
@@ -223,6 +227,8 @@ func (rt *Runtime) partitionTreeStats(p int) core.Stats {
 		return rt.coal[p].Stats()
 	case rt.rot != nil:
 		return rt.rot[p].Stats()
+	case rt.daba != nil:
+		return rt.daba[p].Stats()
 	case rt.rnd != nil:
 		return rt.rnd[p].Stats()
 	case rt.fold != nil:
@@ -240,6 +246,8 @@ func (rt *Runtime) partitionTreeShape(p int) core.TreeShape {
 		return rt.coal[p].Shape()
 	case rt.rot != nil:
 		return rt.rot[p].Shape()
+	case rt.daba != nil:
+		return rt.daba[p].Shape()
 	case rt.rnd != nil:
 		return rt.rnd[p].Shape()
 	case rt.fold != nil:

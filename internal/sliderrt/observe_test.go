@@ -134,7 +134,7 @@ func TestTreeSnapshotPublish(t *testing.T) {
 	if snap == nil || snap.SlideID != 1 {
 		t.Fatalf("snapshot after initial = %+v", snap)
 	}
-	if snap.Mode != "F" || snap.Variant != "rotating" {
+	if snap.Mode != "F" || snap.Variant != "daba" {
 		t.Fatalf("snapshot mode/variant = %q/%q", snap.Mode, snap.Variant)
 	}
 	if len(snap.Partitions) != job.Partitions {

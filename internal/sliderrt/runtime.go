@@ -48,12 +48,13 @@ type RunResult struct {
 // concurrent use; runs are sequential by design (each run's trees feed
 // the next).
 type Runtime struct {
-	job    *mapreduce.Job
-	cfg    Config
-	store  *memo.Store
-	parts  int
-	sizes  *payloadSizes // memoized PayloadBytes per payload identity
-	faults *metrics.FaultRecorder
+	job     *mapreduce.Job
+	cfg     Config
+	backend Backend // resolved aggregation backend (may live-switch)
+	store   *memo.Store
+	parts   int
+	sizes   *payloadSizes // memoized PayloadBytes per payload identity
+	faults  *metrics.FaultRecorder
 
 	seq      uint64 // next split sequence number
 	windowLo uint64 // sequence number of the oldest live split
@@ -68,6 +69,7 @@ type Runtime struct {
 
 	coal   []*core.CoalescingTree[Payload]
 	rot    []*core.RotatingTree[Payload]
+	daba   []*core.DabaLite[Payload]
 	fold   []*core.FoldingTree[Payload]
 	rnd    []*core.RandomizedFoldingTree[Payload]
 	straw  []*core.StrawmanTree[Payload]
@@ -91,16 +93,18 @@ func New(job *mapreduce.Job, cfg Config) (*Runtime, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Mode == Fixed && cfg.Engine == SelfAdjusting && !job.Commutative {
-		return nil, fmt.Errorf("sliderrt: job %q: rotating trees require a commutative combiner", job.Name)
+	backend, err := cfg.resolveBackend(job)
+	if err != nil {
+		return nil, err
 	}
 	rt := &Runtime{
-		job:    job,
-		cfg:    cfg,
-		store:  memo.NewStore(cfg.Memo),
-		parts:  job.NumPartitions(),
-		sizes:  newPayloadSizes(),
-		faults: cfg.Faults,
+		job:     job,
+		cfg:     cfg,
+		backend: backend,
+		store:   memo.NewStore(cfg.Memo),
+		parts:   job.NumPartitions(),
+		sizes:   newPayloadSizes(),
+		faults:  cfg.Faults,
 	}
 	if cfg.Obs != nil {
 		rt.store.SetLatencyObservers(&cfg.Obs.MemoRead, &cfg.Obs.MemoWrite)
@@ -301,18 +305,26 @@ func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
 		ps := partitionSpan(contractPh.span, p)
 		treeBefore := rt.partitionTreeStats(p)
 		payloads := partPayloads(results, p)
-		switch {
-		case rt.cfg.Engine == Strawman:
+		switch rt.backend {
+		case BackendStrawman:
 			rt.leaves[p] = makeItems(baseSeq, payloads)
 			rt.straw[p].Build(rt.leaves[p])
 			if root, ok := rt.straw[p].Root(); ok {
 				roots[p] = []Payload{root}
 			}
-		case rt.cfg.Mode == Append:
+		case BackendCoalescing:
 			c1 := rt.foldPayloads(p, payloads)
 			root := rt.coal[p].Append(c1)
 			roots[p] = []Payload{root}
-		case rt.cfg.Mode == Fixed:
+		case BackendDaba:
+			buckets := rt.formBuckets(p, payloads)
+			if err := rt.daba[p].Init(buckets); err != nil {
+				return err
+			}
+			if root, ok := rt.daba[p].Root(); ok {
+				roots[p] = []Payload{root}
+			}
+		case BackendRotating:
 			buckets := rt.formBuckets(p, payloads)
 			if err := rt.rot[p].Init(buckets); err != nil {
 				return err
@@ -320,7 +332,7 @@ func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
 			if root, ok := rt.rot[p].Root(); ok {
 				roots[p] = []Payload{root}
 			}
-		case rt.cfg.Randomized:
+		case BackendRandomizedFolding:
 			rt.rnd[p].Init(makeItems(baseSeq, payloads))
 			if root, ok := rt.rnd[p].Root(); ok {
 				roots[p] = []Payload{root}
@@ -457,6 +469,9 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 	res.TreeStatsBackground = statsDelta(statsFg, rt.treeStats())
 	res.TreeStats = statsDelta(statsBefore, statsFg)
 	so.finish(res)
+	// After the slide's stats deltas are sealed: a backend switch here
+	// resets tree counters, and the next Advance reads a fresh baseline.
+	rt.maybeSwitchBackend()
 	return res, nil
 }
 
@@ -481,7 +496,7 @@ func statsDelta(before, after core.Stats) core.Stats {
 // advancePartition updates one partition's tree and returns the payloads
 // the final reduce consumes.
 func (rt *Runtime) advancePartition(p, drop int, baseSeq uint64, payloads []Payload) ([]Payload, error) {
-	if rt.cfg.Engine == Strawman {
+	if rt.backend == BackendStrawman {
 		rt.leaves[p] = append(rt.leaves[p][:0], rt.leaves[p][drop:]...)
 		rt.leaves[p] = append(rt.leaves[p], makeItems(baseSeq, payloads)...)
 		rt.straw[p].Build(rt.leaves[p])
@@ -499,6 +514,19 @@ func (rt *Runtime) advancePartition(p, drop int, baseSeq uint64, payloads []Payl
 		return []Payload{rt.coal[p].Append(cNew)}, nil
 	case Fixed:
 		buckets := rt.formBuckets(p, payloads)
+		if rt.backend == BackendDaba {
+			// O(1) in-order fast path: each bucket slide costs a bounded
+			// constant number of combines, independent of WindowBuckets.
+			for _, b := range buckets {
+				if err := rt.daba[p].Slide(b); err != nil {
+					return nil, err
+				}
+			}
+			if root, ok := rt.daba[p].Root(); ok {
+				return []Payload{root}, nil
+			}
+			return nil, nil
+		}
 		if rt.hasPending {
 			fg, err := rt.rot[p].RotateForeground(buckets[0])
 			if err != nil {
@@ -524,7 +552,7 @@ func (rt *Runtime) advancePartition(p, drop int, baseSeq uint64, payloads []Payl
 		}
 		return nil, nil
 	default: // Variable
-		if rt.cfg.Randomized {
+		if rt.backend == BackendRandomizedFolding {
 			if err := rt.rnd[p].Slide(drop, makeItems(baseSeq, payloads)); err != nil {
 				return nil, err
 			}
@@ -759,46 +787,51 @@ func (rt *Runtime) allocTrees() {
 	n := rt.parts
 	treePar := rt.treeParallelism()
 	rt.combines = make([]int64, n)
-	if rt.cfg.Engine == Strawman {
+	// Drop any previous backend's structures: allocTrees also re-homes
+	// the runtime on a live backend switch.
+	rt.coal, rt.rot, rt.daba, rt.fold, rt.rnd = nil, nil, nil, nil, nil
+	rt.straw, rt.leaves = nil, nil
+	switch rt.backend {
+	case BackendStrawman:
 		rt.straw = make([]*core.StrawmanTree[Payload], n)
 		rt.leaves = make([][]core.Item[Payload], n)
 		for p := range rt.straw {
 			rt.straw[p] = core.NewStrawman(rt.mergeFor(p))
 			rt.straw[p].SetParallelism(treePar)
 		}
-		return
-	}
-	switch rt.cfg.Mode {
-	case Append:
+	case BackendCoalescing:
 		rt.coal = make([]*core.CoalescingTree[Payload], n)
 		for p := range rt.coal {
 			rt.coal[p] = core.NewCoalescing(rt.mergeFor(p))
 		}
-	case Fixed:
+	case BackendDaba:
+		rt.daba = make([]*core.DabaLite[Payload], n)
+		for p := range rt.daba {
+			rt.daba[p] = core.NewDaba(rt.mergeFor(p), rt.cfg.WindowBuckets)
+		}
+	case BackendRotating:
 		rt.rot = make([]*core.RotatingTree[Payload], n)
 		for p := range rt.rot {
 			rt.rot[p] = core.NewRotating(rt.mergeFor(p), rt.cfg.WindowBuckets)
 			rt.rot[p].SetParallelism(treePar)
 		}
-	default:
-		if rt.cfg.Randomized {
-			rt.rnd = make([]*core.RandomizedFoldingTree[Payload], n)
-			for p := range rt.rnd {
-				rt.rnd[p] = core.NewRandomizedFolding(rt.mergeFor(p), rt.cfg.Seed+uint64(p)+1)
-				rt.rnd[p].SetParallelism(treePar)
+	case BackendRandomizedFolding:
+		rt.rnd = make([]*core.RandomizedFoldingTree[Payload], n)
+		for p := range rt.rnd {
+			rt.rnd[p] = core.NewRandomizedFolding(rt.mergeFor(p), rt.cfg.Seed+uint64(p)+1)
+			rt.rnd[p].SetParallelism(treePar)
+		}
+	default: // BackendFolding
+		rt.fold = make([]*core.FoldingTree[Payload], n)
+		factor := rt.cfg.RebuildFactor
+		for p := range rt.fold {
+			opts := []core.FoldingOption[Payload]{core.WithParallelism[Payload](treePar)}
+			if factor < 0 {
+				opts = append(opts, core.WithRebuildFactor[Payload](0))
+			} else if factor > 0 {
+				opts = append(opts, core.WithRebuildFactor[Payload](factor))
 			}
-		} else {
-			rt.fold = make([]*core.FoldingTree[Payload], n)
-			factor := rt.cfg.RebuildFactor
-			for p := range rt.fold {
-				opts := []core.FoldingOption[Payload]{core.WithParallelism[Payload](treePar)}
-				if factor < 0 {
-					opts = append(opts, core.WithRebuildFactor[Payload](0))
-				} else if factor > 0 {
-					opts = append(opts, core.WithRebuildFactor[Payload](factor))
-				}
-				rt.fold[p] = core.NewFolding(rt.mergeFor(p), opts...)
-			}
+			rt.fold[p] = core.NewFolding(rt.mergeFor(p), opts...)
 		}
 	}
 }
@@ -815,6 +848,8 @@ func (rt *Runtime) partitionTreeBytes(p int) int64 {
 		rt.coal[p].ForEachPayload(count)
 	case rt.rot != nil:
 		rt.rot[p].ForEachPayload(count)
+	case rt.daba != nil:
+		rt.daba[p].ForEachPayload(count)
 	case rt.rnd != nil:
 		rt.rnd[p].ForEachPayload(count)
 	case rt.fold != nil:
@@ -835,6 +870,9 @@ func (rt *Runtime) treeStats() core.Stats {
 		addStats(t.Stats())
 	}
 	for _, t := range rt.rot {
+		addStats(t.Stats())
+	}
+	for _, t := range rt.daba {
 		addStats(t.Stats())
 	}
 	for _, t := range rt.fold {
@@ -860,6 +898,9 @@ func (rt *Runtime) spaceBytes() int64 {
 		t.ForEachPayload(count)
 	}
 	for _, t := range rt.rot {
+		t.ForEachPayload(count)
+	}
+	for _, t := range rt.daba {
 		t.ForEachPayload(count)
 	}
 	for _, t := range rt.fold {

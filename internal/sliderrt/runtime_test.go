@@ -1,6 +1,7 @@
 package sliderrt
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -213,12 +214,70 @@ func TestAdvanceShapeValidation(t *testing.T) {
 func TestRotatingRequiresCommutativity(t *testing.T) {
 	job := wordCountJob()
 	job.Commutative = false
-	if _, err := New(job, Config{Mode: Fixed, BucketSplits: 1, WindowBuckets: 2}); err == nil {
-		t.Fatal("non-commutative job accepted for Fixed mode")
+	// Auto selection routes a non-commutative Fixed-mode job to the
+	// in-order DABA backend, which accepts it.
+	rt, err := New(job, Config{Mode: Fixed, BucketSplits: 1, WindowBuckets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Backend() != BackendDaba {
+		t.Fatalf("auto backend for non-commutative Fixed job = %v, want daba", rt.Backend())
+	}
+	// Explicitly requesting the rotating tree must fail: its circular
+	// buckets re-order window age relative to tree position.
+	if _, err := New(job, Config{Mode: Fixed, Backend: BackendRotating, BucketSplits: 1, WindowBuckets: 2}); !errors.Is(err, ErrBadBackend) {
+		t.Fatalf("non-commutative job routed to rotating tree: err = %v, want ErrBadBackend", err)
+	}
+	// Split processing implies the rotating tree, so auto must also fail.
+	if _, err := New(job, Config{Mode: Fixed, SplitProcessing: true, BucketSplits: 1, WindowBuckets: 2}); !errors.Is(err, ErrBadBackend) {
+		t.Fatalf("non-commutative job accepted for split processing: err = %v, want ErrBadBackend", err)
 	}
 	// The strawman engine preserves order, so it must accept it.
 	if _, err := New(job, Config{Mode: Fixed, Engine: Strawman, BucketSplits: 1, WindowBuckets: 2}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBackendSelectionMatrix(t *testing.T) {
+	commutative := wordCountJob()
+	cases := []struct {
+		name string
+		cfg  Config
+		want Backend
+		fail bool
+	}{
+		{"fixed-auto", Config{Mode: Fixed, BucketSplits: 1, WindowBuckets: 2}, BackendDaba, false},
+		{"fixed-split-auto", Config{Mode: Fixed, SplitProcessing: true, BucketSplits: 1, WindowBuckets: 2}, BackendRotating, false},
+		{"fixed-rotating-override", Config{Mode: Fixed, Backend: BackendRotating, BucketSplits: 1, WindowBuckets: 2}, BackendRotating, false},
+		{"fixed-daba-override", Config{Mode: Fixed, Backend: BackendDaba, BucketSplits: 1, WindowBuckets: 2}, BackendDaba, false},
+		{"fixed-daba-split", Config{Mode: Fixed, Backend: BackendDaba, SplitProcessing: true, BucketSplits: 1, WindowBuckets: 2}, 0, true},
+		{"fixed-folding", Config{Mode: Fixed, Backend: BackendFolding, BucketSplits: 1, WindowBuckets: 2}, 0, true},
+		{"append-auto", Config{Mode: Append}, BackendCoalescing, false},
+		{"append-daba", Config{Mode: Append, Backend: BackendDaba}, 0, true},
+		{"variable-auto", Config{Mode: Variable}, BackendFolding, false},
+		{"variable-randomized", Config{Mode: Variable, Randomized: true}, BackendRandomizedFolding, false},
+		{"variable-randomized-override", Config{Mode: Variable, Backend: BackendRandomizedFolding}, BackendRandomizedFolding, false},
+		{"variable-conflict", Config{Mode: Variable, Randomized: true, Backend: BackendFolding}, 0, true},
+		{"variable-daba", Config{Mode: Variable, Backend: BackendDaba}, 0, true},
+		{"strawman", Config{Mode: Fixed, Engine: Strawman, BucketSplits: 1, WindowBuckets: 2}, BackendStrawman, false},
+		{"strawman-daba", Config{Mode: Fixed, Engine: Strawman, Backend: BackendDaba, BucketSplits: 1, WindowBuckets: 2}, 0, true},
+	}
+	for _, tc := range cases {
+		tc.cfg.Memo = testMemoConfig()
+		rt, err := New(commutative, tc.cfg)
+		if tc.fail {
+			if !errors.Is(err, ErrBadBackend) {
+				t.Errorf("%s: err = %v, want ErrBadBackend", tc.name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if rt.Backend() != tc.want {
+			t.Errorf("%s: backend = %v, want %v", tc.name, rt.Backend(), tc.want)
+		}
 	}
 }
 
@@ -264,8 +323,11 @@ func newRecorder(t *testing.T, job *mapreduce.Job, window []mapreduce.Split) (c 
 func TestSplitProcessingShiftsWorkToBackground(t *testing.T) {
 	job := wordCountJob()
 	mkRT := func(split bool) *Runtime {
+		// Pin the rotating tree on both sides: the comparison is split
+		// processing vs. in-place rotation, not vs. the DABA fast path
+		// auto selection would pick for the non-split config.
 		rt, err := New(job, Config{
-			Mode: Fixed, BucketSplits: 2, WindowBuckets: 8,
+			Mode: Fixed, Backend: BackendRotating, BucketSplits: 2, WindowBuckets: 8,
 			SplitProcessing: split, Memo: testMemoConfig(),
 		})
 		if err != nil {

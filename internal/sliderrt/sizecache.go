@@ -19,20 +19,36 @@ import (
 //
 // Identity and safety: the cache keys on the payload map's pointer
 // (maps are reference types; the pointer is stable for the map's
-// lifetime) and each entry retains the payload itself, so the address can
-// never be recycled for a different map while its entry is live — a bare
-// uintptr key without the pinned reference could go stale after a GC
-// cycle. Payloads are immutable by the combiner contract (CheckJob), so a
-// cached size never becomes wrong. prune() drops every entry not used
-// since the previous prune, bounding the cache to roughly the live
-// window; the runtime prunes once per run after the whole-state walk.
+// lifetime) TOGETHER WITH its length. Each entry retains the payload
+// itself, so the address cannot be recycled for a different map while
+// its entry is live — a bare uintptr key without the pinned reference
+// could go stale after a GC cycle. The length is part of the key because
+// pinning alone does not make a bare pointer safe against pooled reuse:
+// a caller that recycles a payload's backing storage in place (clearing
+// and refilling the same map, as an object pool does) leaves the address
+// unchanged, and a pointer-only key would keep serving the size measured
+// before the reuse. A recycled payload virtually always changes its
+// entry count, so the (pointer, len) pair misses and re-measures; the
+// stale entry for the old length ages out at the next prune. Payloads
+// that honor the immutability contract (CheckJob) are unaffected: their
+// length never changes, so the composite key hits exactly as before.
+// prune() drops every entry not used since the previous prune, bounding
+// the cache to roughly the live window; the runtime prunes once per run
+// after the whole-state walk.
 //
 // The cache is safe for concurrent use: partition workers size their
 // roots concurrently under forEachPartition.
 type payloadSizes struct {
 	mu   sync.Mutex
-	cur  map[uintptr]sizeEntry
-	seen map[uintptr]struct{}
+	cur  map[sizeKey]sizeEntry
+	seen map[sizeKey]struct{}
+}
+
+// sizeKey identifies one payload generation: the map's address plus its
+// entry count at measurement time.
+type sizeKey struct {
+	ptr uintptr
+	n   int
 }
 
 type sizeEntry struct {
@@ -42,8 +58,8 @@ type sizeEntry struct {
 
 func newPayloadSizes() *payloadSizes {
 	return &payloadSizes{
-		cur:  make(map[uintptr]sizeEntry),
-		seen: make(map[uintptr]struct{}),
+		cur:  make(map[sizeKey]sizeEntry),
+		seen: make(map[sizeKey]struct{}),
 	}
 }
 
@@ -53,18 +69,18 @@ func (c *payloadSizes) bytes(job *mapreduce.Job, p Payload) int64 {
 	if len(p) == 0 {
 		return 0
 	}
-	ptr := reflect.ValueOf(p).Pointer()
+	key := sizeKey{ptr: reflect.ValueOf(p).Pointer(), n: len(p)}
 	c.mu.Lock()
-	if e, ok := c.cur[ptr]; ok {
-		c.seen[ptr] = struct{}{}
+	if e, ok := c.cur[key]; ok {
+		c.seen[key] = struct{}{}
 		c.mu.Unlock()
 		return e.bytes
 	}
 	c.mu.Unlock()
 	n := mapreduce.PayloadBytes(job, p)
 	c.mu.Lock()
-	c.cur[ptr] = sizeEntry{p: p, bytes: n}
-	c.seen[ptr] = struct{}{}
+	c.cur[key] = sizeEntry{p: p, bytes: n}
+	c.seen[key] = struct{}{}
 	c.mu.Unlock()
 	return n
 }
@@ -74,12 +90,12 @@ func (c *payloadSizes) bytes(job *mapreduce.Job, p Payload) int64 {
 // reachable from a tree was just marked and survives.
 func (c *payloadSizes) prune() {
 	c.mu.Lock()
-	for ptr := range c.cur {
-		if _, ok := c.seen[ptr]; !ok {
-			delete(c.cur, ptr)
+	for key := range c.cur {
+		if _, ok := c.seen[key]; !ok {
+			delete(c.cur, key)
 		}
 	}
-	c.seen = make(map[uintptr]struct{}, len(c.cur))
+	c.seen = make(map[sizeKey]struct{}, len(c.cur))
 	c.mu.Unlock()
 }
 

@@ -97,3 +97,47 @@ func TestPayloadSizesConcurrent(t *testing.T) {
 		t.Fatalf("cache holds %d entries, want ≤ %d", c.len(), len(payloads))
 	}
 }
+
+// TestPayloadSizesPooledReuse is the aliasing repro for the stale-size
+// bug: an object pool that recycles a payload's backing map in place
+// (clear, refill) keeps the map's address, so a pointer-only cache key
+// keeps serving the size measured before the reuse. The (pointer, len)
+// composite key must miss on the recycled generation and re-measure.
+func TestPayloadSizesPooledReuse(t *testing.T) {
+	job := wordCountJob()
+	c := newPayloadSizes()
+
+	p := mapreduce.Payload{"alpha": int64(1), "beta": int64(2)}
+	before := mapreduce.PayloadBytes(job, p)
+	if got := c.bytes(job, p); got != before {
+		t.Fatalf("bytes before reuse = %d, want %d", got, before)
+	}
+
+	// Recycle the same map in place, as a pool would: same address, new
+	// contents with a different entry count.
+	for k := range p {
+		delete(p, k)
+	}
+	p["a-much-longer-key-after-reuse"] = int64(7)
+	p["second"] = int64(8)
+	p["third"] = int64(9)
+
+	after := mapreduce.PayloadBytes(job, p)
+	if after == before {
+		t.Fatal("test needs the recycled payload to have a different size")
+	}
+	if got := c.bytes(job, p); got != after {
+		t.Fatalf("bytes after pooled reuse = %d (stale), want %d", got, after)
+	}
+
+	// The stale entry for the old generation ages out: after two prunes
+	// with only the new generation touched, one entry remains.
+	c.prune()
+	if got := c.bytes(job, p); got != after {
+		t.Fatalf("bytes after prune = %d, want %d", got, after)
+	}
+	c.prune()
+	if c.len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1 after stale generation aged out", c.len())
+	}
+}

@@ -81,6 +81,10 @@ type (
 	Mode = sliderrt.Mode
 	// Engine selects self-adjusting trees or the strawman baseline.
 	Engine = sliderrt.Engine
+	// Backend names the aggregation structure behind the reduce phase;
+	// the default BackendAuto resolves the cheapest legal structure from
+	// the window mode and the combiner's declared properties.
+	Backend = sliderrt.Backend
 	// Runtime drives initial and incremental runs.
 	Runtime = sliderrt.Runtime
 	// RunResult is the outcome of one run.
@@ -100,6 +104,29 @@ const (
 	// Strawman is the memoization-only baseline engine (§2).
 	Strawman = sliderrt.Strawman
 )
+
+// Aggregation backends (Config.Backend).
+const (
+	// BackendAuto resolves the cheapest legal backend for the query.
+	BackendAuto = sliderrt.BackendAuto
+	// BackendDaba is the worst-case O(1) in-order aggregator for plain
+	// fixed-width windows (no commutativity required).
+	BackendDaba = sliderrt.BackendDaba
+	// BackendRotating is the rotating contraction tree of §4.1.
+	BackendRotating = sliderrt.BackendRotating
+	// BackendCoalescing is the append-only coalescing tree of §4.2.
+	BackendCoalescing = sliderrt.BackendCoalescing
+	// BackendFolding is the folding tree of §3.1.
+	BackendFolding = sliderrt.BackendFolding
+	// BackendRandomizedFolding is the randomized folding tree of §3.2.
+	BackendRandomizedFolding = sliderrt.BackendRandomizedFolding
+	// BackendStrawman is the memoization-only baseline structure.
+	BackendStrawman = sliderrt.BackendStrawman
+)
+
+// ParseBackend parses a backend name as printed by Backend.String
+// ("auto", "daba", "rotating", ...) — the daemons' -backend flag.
+func ParseBackend(s string) (Backend, error) { return sliderrt.ParseBackend(s) }
 
 // New returns a Runtime executing job under cfg.
 func New(job *Job, cfg Config) (*Runtime, error) { return sliderrt.New(job, cfg) }
@@ -253,6 +280,9 @@ type (
 	TraceMode = metrics.TraceMode
 	// Histogram is a fixed-bucket, mergeable latency histogram.
 	Histogram = metrics.Histogram
+	// HistogramSnapshot is an immutable copy of a Histogram's counts;
+	// Config.SwitchHook receives one for the contract phase.
+	HistogramSnapshot = metrics.HistogramSnapshot
 	// FaultStats is a snapshot of fault-tolerance event counters and
 	// RPC latency quantiles.
 	FaultStats = metrics.FaultStats
