@@ -180,7 +180,21 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 				return nil, fmt.Errorf("sliderrt: restore: partition %d window not filled", p)
 			}
 			if rt.backend == BackendDaba {
-				if err := rt.daba[p].Restore(pc.Buckets); err != nil {
+				bs := pc.Buckets
+				if st.Backend == BackendAuto && pc.Victim != 0 {
+					// Pre-backend checkpoints (Backend unrecorded, gob
+					// zero) were written by the rotating tree: Buckets are
+					// in leaf-position order and Victim marks the oldest
+					// bucket. Rotate into the window order the DABA
+					// aggregator expects; post-backend daba frames record
+					// a concrete Backend and leave Victim zero.
+					if pc.Victim < 0 || pc.Victim >= len(bs) {
+						return nil, fmt.Errorf("sliderrt: restore partition %d: victim %d out of range [0,%d)",
+							p, pc.Victim, len(bs))
+					}
+					bs = append(append(make([]Payload, 0, len(bs)), bs[pc.Victim:]...), bs[:pc.Victim]...)
+				}
+				if err := rt.daba[p].Restore(bs); err != nil {
 					return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
 				}
 				break

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"slider/internal/persist"
 )
 
 // checkpointRoundTrip drives a runtime halfway through a slide schedule,
@@ -157,6 +159,120 @@ func TestRestoreCorruptData(t *testing.T) {
 	}
 	if _, err := Restore(wordCountJob(), cfg, strings.NewReader("junk")); err == nil {
 		t.Fatal("junk checkpoint accepted")
+	}
+}
+
+// TestRestoreLegacyFixedCheckpointIntoDaba replays the pre-backend
+// checkpoint layout: version-1 frames with no Backend field decode as
+// BackendAuto, and their Fixed-mode Buckets are in rotating leaf-position
+// order with a Victim cursor marking the oldest bucket. An auto config
+// now resolves those restores to the DABA backend, which expects window
+// order — the buckets must be rotated by Victim first, or every later
+// slide evicts the wrong bucket and silently corrupts the aggregate.
+func TestRestoreLegacyFixedCheckpointIntoDaba(t *testing.T) {
+	job := wordCountJob()
+	cfg := Config{Mode: Fixed, BucketSplits: 2, WindowBuckets: 4, Memo: testMemoConfig()}
+	rotCfg := cfg
+	rotCfg.Backend = BackendRotating
+	original, err := New(job, rotCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := genSplits(0, 8, 4, 7)
+	next := 8
+	if _, err := original.Initial(window); err != nil {
+		t.Fatal(err)
+	}
+	// Three one-bucket slides leave the rotating victim cursor at 3: a
+	// legacy frame restored without rotation is maximally mis-ordered.
+	for _, s := range []slide{{2, 2}, {2, 2}, {2, 2}} {
+		add := genSplits(next, s.add, 4, 7)
+		next += s.add
+		if _, err := original.Advance(s.drop, add); err != nil {
+			t.Fatal(err)
+		}
+		window = append(window[s.drop:], add...)
+	}
+
+	var buf bytes.Buffer
+	if err := original.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st checkpointState
+	if err := persist.Decode(buf.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend != BackendRotating {
+		t.Fatalf("checkpoint backend = %v, want %v", st.Backend, BackendRotating)
+	}
+	victims := 0
+	for _, pc := range st.Partitions {
+		if pc.Victim != 0 {
+			victims++
+		}
+	}
+	if victims == 0 {
+		t.Fatal("test needs a nonzero victim cursor to exercise the rotation")
+	}
+	// A pre-backend frame has no Backend field, which gob decodes as the
+	// zero value: BackendAuto.
+	st.Backend = BackendAuto
+	frame, err := persist.Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Restore(wordCountJob(), cfg, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Backend(); got != BackendDaba {
+		t.Fatalf("restored backend = %v, want %v", got, BackendDaba)
+	}
+	for i, s := range []slide{{2, 2}, {2, 2}, {4, 4}, {2, 2}} {
+		add := genSplits(next, s.add, 4, 7)
+		next += s.add
+		res, err := restored.Advance(s.drop, add)
+		if err != nil {
+			t.Fatalf("restored slide %d: %v", i, err)
+		}
+		window = append(window[s.drop:], add...)
+		wantSameOutput(t, res.Output, scratch(t, job, window))
+	}
+}
+
+// TestRestoreLegacyVictimOutOfRange rejects a legacy frame whose Victim
+// cursor does not address a bucket instead of restoring a garbled window.
+func TestRestoreLegacyVictimOutOfRange(t *testing.T) {
+	job := wordCountJob()
+	cfg := Config{Mode: Fixed, BucketSplits: 2, WindowBuckets: 4, Memo: testMemoConfig()}
+	rotCfg := cfg
+	rotCfg.Backend = BackendRotating
+	rt, err := New(job, rotCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Initial(genSplits(0, 8, 4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rt.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st checkpointState
+	if err := persist.Decode(buf.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	st.Backend = BackendAuto
+	for p := range st.Partitions {
+		st.Partitions[p].Victim = len(st.Partitions[p].Buckets)
+	}
+	frame, err := persist.Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(wordCountJob(), cfg, bytes.NewReader(frame)); err == nil {
+		t.Fatal("out-of-range victim accepted")
 	}
 }
 

@@ -22,19 +22,24 @@ import (
 // lifetime) TOGETHER WITH its length. Each entry retains the payload
 // itself, so the address cannot be recycled for a different map while
 // its entry is live — a bare uintptr key without the pinned reference
-// could go stale after a GC cycle. The length is part of the key because
-// pinning alone does not make a bare pointer safe against pooled reuse:
-// a caller that recycles a payload's backing storage in place (clearing
-// and refilling the same map, as an object pool does) leaves the address
-// unchanged, and a pointer-only key would keep serving the size measured
-// before the reuse. A recycled payload virtually always changes its
-// entry count, so the (pointer, len) pair misses and re-measures; the
-// stale entry for the old length ages out at the next prune. Payloads
-// that honor the immutability contract (CheckJob) are unaffected: their
-// length never changes, so the composite key hits exactly as before.
-// prune() drops every entry not used since the previous prune, bounding
-// the cache to roughly the live window; the runtime prunes once per run
-// after the whole-state walk.
+// could go stale after a GC cycle. The length guards against the common
+// in-place mutation a pointer-only key would miss: a caller that clears
+// and refills the same map (pooled reuse) leaves the address unchanged
+// but almost always changes the entry count, so the (pointer, len) pair
+// misses and re-measures, and the stale entry for the old length ages
+// out at the next prune.
+//
+// LIMITATION: the composite key is hardening, not a mutation detector.
+// Refilling a map in place with the SAME number of entries but
+// different-sized keys or values leaves both key components unchanged
+// and serves the stale size until the entry is pruned. That usage
+// violates the payload immutability contract the runtime already
+// requires (CheckJob property-tests it: payloads handed to the combiner
+// must never be mutated afterward), so the cache does not attempt to
+// detect it — a caller needing in-place reuse must allocate fresh maps
+// instead. prune() drops every entry not used since the previous prune,
+// bounding the cache to roughly the live window; the runtime prunes
+// once per run after the whole-state walk.
 //
 // The cache is safe for concurrent use: partition workers size their
 // roots concurrently under forEachPartition.
