@@ -10,6 +10,9 @@
 //
 // -backends-json writes the DABA-vs-rotating head-to-head sweep (the
 // "backends" experiment) as a standalone JSON document (BENCH_daba.json).
+//
+// -payload-json writes the gob-vs-flat payload codec head-to-head (the
+// "payload" experiment) as JSON (BENCH_payload.json).
 package main
 
 import (
@@ -37,6 +40,7 @@ func run(args []string) error {
 	outPath := fs.String("out", "", "write results to this file instead of stdout")
 	jsonPath := fs.String("json", "", "also write a machine-readable JSON record to this file")
 	backendsJSON := fs.String("backends-json", "", "write the backends head-to-head sweep as JSON to this file")
+	payloadJSON := fs.String("payload-json", "", "write the payload codec head-to-head as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +96,17 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(out, "backends JSON written to %s\n", *backendsJSON)
+	}
+	if *payloadJSON != "" {
+		f, err := os.Create(*payloadJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WritePayloadJSON(f, scale); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "payload JSON written to %s\n", *payloadJSON)
 	}
 	return nil
 }

@@ -58,12 +58,17 @@ func run(args []string) error {
 	slide := fs.Int("slide", 5, "slide width in splits (0 = append-only)")
 	top := fs.Int("top", 10, "words to print per window")
 	backendName := fs.String("backend", "auto", "aggregation backend: auto, daba, rotating, coalescing, folding, randomized-folding, strawman")
+	switchPolicy := fs.String("switch-policy", "", "live backend-switch policy over the contract-phase latency, e.g. p95:high=20ms,low=5ms,n=3 (fixed windows only; empty = off)")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof, /debug/slides and /debug/tree on this address (empty = no server)")
 	statsEvery := fs.Int("stats", 10, "print a runtime stats line every N windows (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	backend, err := slider.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	switchHook, err := slider.ParseSwitchPolicy(*switchPolicy)
 	if err != nil {
 		return err
 	}
@@ -112,8 +117,8 @@ func run(args []string) error {
 			if fsnap := cw.Runtime().FaultRecorder().Snapshot(); fsnap != (slider.FaultStats{}) {
 				faults = fsnap.String()
 			}
-			fmt.Printf("stats: slides=%d memo-hit=%.1f%% slide-p95=%v faults: %s\n",
-				runNo, 100*hitRatio, so.Slide.Quantile(0.95), faults)
+			fmt.Printf("stats: slides=%d backend=%v memo-hit=%.1f%% slide-p95=%v faults: %s\n",
+				runNo, cw.Runtime().Backend(), 100*hitRatio, so.Slide.Quantile(0.95), faults)
 		}
 		return nil
 	}
@@ -123,7 +128,7 @@ func run(args []string) error {
 		RecordsPerSplit: *split,
 		WindowSplits:    *window,
 		SlideSplits:     *slide,
-		Config:          slider.Config{Obs: so, Backend: backend},
+		Config:          slider.Config{Obs: so, Backend: backend, SwitchHook: switchHook},
 	}, sink)
 	if err != nil {
 		return err

@@ -1,0 +1,344 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"slider/internal/mapreduce"
+	"slider/internal/memo"
+	"slider/internal/persist"
+	"slider/internal/sliderrt"
+	"slider/internal/workload"
+)
+
+// The payload experiment measures the flat columnar payload codec
+// (internal/flatenc, frame version sld2) against the legacy whole-value
+// gob codec (sld1) it replaced on the byte-shaped paths: memo
+// persistence, dist framing, and checkpoints. Two views: a micro
+// head-to-head of encode/decode cost across payload sizes, and the
+// end-to-end wordcount slide loop run under each codec
+// (persist.SetPayloadCodec), where the codec serves the memoized
+// "map:"/"part:" state written on every slide.
+
+// PayloadCodecCell is one (codec, payload size) micro measurement.
+type PayloadCodecCell struct {
+	Codec             string  `json:"codec"`
+	Entries           int     `json:"entries"`
+	FrameBytes        int     `json:"frameBytes"`
+	EncodeNsPerOp     float64 `json:"encodeNsPerOp"`
+	EncodeAllocsPerOp float64 `json:"encodeAllocsPerOp"`
+	DecodeNsPerOp     float64 `json:"decodeNsPerOp"`
+	DecodeAllocsPerOp float64 `json:"decodeAllocsPerOp"`
+}
+
+// PayloadSlideCell is the wordcount slide loop under one codec.
+type PayloadSlideCell struct {
+	Codec          string  `json:"codec"`
+	Slides         int     `json:"slides"`
+	AllocsPerSlide float64 `json:"allocsPerSlide"`
+	NsPerSlide     float64 `json:"nsPerSlide"`
+}
+
+// PayloadResult is the full experiment, serialized to BENCH_payload.json.
+type PayloadResult struct {
+	Scale string `json:"scale"`
+	Cells []PayloadCodecCell `json:"cells"`
+	Slides []PayloadSlideCell `json:"slides"`
+	// EncodeAllocReductionPct is the steady-state allocation reduction of
+	// the flat encode path vs gob at the largest measured payload size.
+	EncodeAllocReductionPct float64 `json:"encodeAllocReductionPct"`
+	// RoundTripAllocReductionPct compares full encode+decode (flat view
+	// walk vs gob decode into a map) at the largest payload size.
+	RoundTripAllocReductionPct float64 `json:"roundTripAllocReductionPct"`
+	DurationMs                 int64   `json:"durationMs"`
+}
+
+// payloadSizes is the entry-count axis of the micro head-to-head.
+var payloadSizes = []int{4, 32, 256, 2048}
+
+// benchPayload builds a wordcount-shaped payload: string keys, int64
+// counts — the dominant shape on Slider's wire.
+func benchPayload(entries int) mapreduce.Payload {
+	p := make(mapreduce.Payload, entries)
+	for i := 0; i < entries; i++ {
+		p[fmt.Sprintf("word-%04d", i)] = int64(i*7 + 1)
+	}
+	return p
+}
+
+// measureGobCodec measures the legacy sld1 path: whole-payload gob encode
+// and decode.
+func measureGobCodec(entries int) (PayloadCodecCell, error) {
+	cell := PayloadCodecCell{Codec: "gob", Entries: entries}
+	p := benchPayload(entries)
+	frame, err := persist.Encode(p)
+	if err != nil {
+		return cell, err
+	}
+	cell.FrameBytes = len(frame)
+	reps := microReps(entries)
+	cell.EncodeAllocsPerOp = testing.AllocsPerRun(reps, func() {
+		if _, err := persist.Encode(p); err != nil {
+			panic(err)
+		}
+	})
+	cell.EncodeNsPerOp = timeOp(reps, func() {
+		if _, err := persist.Encode(p); err != nil {
+			panic(err)
+		}
+	})
+	cell.DecodeAllocsPerOp = testing.AllocsPerRun(reps, func() {
+		var out mapreduce.Payload
+		if err := persist.Decode(frame, &out); err != nil {
+			panic(err)
+		}
+	})
+	cell.DecodeNsPerOp = timeOp(reps, func() {
+		var out mapreduce.Payload
+		if err := persist.Decode(frame, &out); err != nil {
+			panic(err)
+		}
+	})
+	return cell, nil
+}
+
+// measureFlatCodec measures the sld2 path at steady state: pooled-buffer
+// append encode, and zero-copy view decode (the wire consumer's walk —
+// no map is materialized).
+func measureFlatCodec(entries int) (PayloadCodecCell, error) {
+	cell := PayloadCodecCell{Codec: "flat", Entries: entries}
+	p := benchPayload(entries)
+	frame, err := persist.EncodePayload(p)
+	if err != nil {
+		return cell, err
+	}
+	cell.FrameBytes = len(frame)
+	// Steady state: one warm buffer reused across ops, like the memo and
+	// dist hot paths.
+	buf := make([]byte, 0, 2*len(frame))
+	if buf, err = persist.AppendPayload(buf[:0], p); err != nil {
+		return cell, err
+	}
+	reps := microReps(entries)
+	cell.EncodeAllocsPerOp = testing.AllocsPerRun(reps, func() {
+		out, err := persist.AppendPayload(buf[:0], p)
+		if err != nil {
+			panic(err)
+		}
+		buf = out
+	})
+	cell.EncodeNsPerOp = timeOp(reps, func() {
+		out, err := persist.AppendPayload(buf[:0], p)
+		if err != nil {
+			panic(err)
+		}
+		buf = out
+	})
+	// The decode walk uses the typed iterator: counting consumers read
+	// int64 columns without boxing, so the whole walk allocates nothing.
+	var sink int64
+	walk := func() {
+		view, err := persist.DecodePayloadView(frame)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := view.ForEachInt64(func(_ string, n int64) bool {
+			sink += n
+			return true
+		}); err != nil {
+			panic(err)
+		}
+	}
+	cell.DecodeAllocsPerOp = testing.AllocsPerRun(reps, walk)
+	cell.DecodeNsPerOp = timeOp(reps, walk)
+	_ = sink
+	return cell, nil
+}
+
+// measureFlatMaterialize measures sld2 decode when the consumer does need
+// a fresh mutable map (restore paths).
+func measureFlatMaterialize(entries int) (PayloadCodecCell, error) {
+	cell := PayloadCodecCell{Codec: "flat-materialize", Entries: entries}
+	p := benchPayload(entries)
+	frame, err := persist.EncodePayload(p)
+	if err != nil {
+		return cell, err
+	}
+	cell.FrameBytes = len(frame)
+	reps := microReps(entries)
+	cell.DecodeAllocsPerOp = testing.AllocsPerRun(reps, func() {
+		if _, err := persist.DecodePayload(frame); err != nil {
+			panic(err)
+		}
+	})
+	cell.DecodeNsPerOp = timeOp(reps, func() {
+		if _, err := persist.DecodePayload(frame); err != nil {
+			panic(err)
+		}
+	})
+	return cell, nil
+}
+
+// microReps scales repetition counts down for big payloads.
+func microReps(entries int) int {
+	if entries >= 1024 {
+		return 20
+	}
+	return 100
+}
+
+// timeOp times fn over reps runs and returns ns/op.
+func timeOp(reps int, fn func()) float64 {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+}
+
+// measurePayloadSlides drives the wordcount slide loop under one payload
+// codec and returns per-slide averages, measureBackend-style.
+func measurePayloadSlides(s Scale, codec persist.Codec, slides int) (PayloadSlideCell, error) {
+	name := "flat"
+	if codec == persist.CodecGob {
+		name = "gob"
+	}
+	cell := PayloadSlideCell{Codec: name, Slides: slides}
+	prev := persist.SetPayloadCodec(codec)
+	defer persist.SetPayloadCodec(prev)
+
+	text := workload.NewText(s.Text)
+	window := 16
+	cfg := sliderrt.Config{
+		Mode:          sliderrt.Fixed,
+		BucketSplits:  1,
+		WindowBuckets: window,
+		Memo:          memo.DefaultConfig(),
+	}
+	rt, err := sliderrt.New(wordCount(s.Partitions), cfg)
+	if err != nil {
+		return cell, err
+	}
+	if _, err := rt.Initial(text.Range(0, window)); err != nil {
+		return cell, err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := rt.Advance(1, text.Range(window+i, window+i+1)); err != nil {
+			return cell, err
+		}
+	}
+	next := window + 2
+
+	quiesce()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < slides; i++ {
+		if _, err := rt.Advance(1, text.Range(next, next+1)); err != nil {
+			return cell, err
+		}
+		next++
+	}
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	n := float64(slides)
+	cell.AllocsPerSlide = float64(after.Mallocs-before.Mallocs) / n
+	cell.NsPerSlide = float64(elapsed.Nanoseconds()) / n
+	return cell, nil
+}
+
+// RunPayload measures the gob-vs-flat head-to-head and renders a text
+// table.
+func RunPayload(s Scale) (*PayloadResult, string, error) {
+	start := time.Now()
+	out := &PayloadResult{Scale: "quick"}
+	if s.WindowSplits >= 60 {
+		out.Scale = "full"
+	}
+	for _, entries := range payloadSizes {
+		gob, err := measureGobCodec(entries)
+		if err != nil {
+			return nil, "", fmt.Errorf("payload gob n=%d: %w", entries, err)
+		}
+		flat, err := measureFlatCodec(entries)
+		if err != nil {
+			return nil, "", fmt.Errorf("payload flat n=%d: %w", entries, err)
+		}
+		mat, err := measureFlatMaterialize(entries)
+		if err != nil {
+			return nil, "", fmt.Errorf("payload flat-materialize n=%d: %w", entries, err)
+		}
+		out.Cells = append(out.Cells, gob, flat, mat)
+	}
+
+	slides := 16
+	if s.WindowSplits >= 60 {
+		slides = 32
+	}
+	for _, codec := range []persist.Codec{persist.CodecGob, persist.CodecFlat} {
+		cell, err := measurePayloadSlides(s, codec, slides)
+		if err != nil {
+			return nil, "", fmt.Errorf("payload slides: %w", err)
+		}
+		out.Slides = append(out.Slides, cell)
+	}
+
+	// Reduction figures at the largest payload size.
+	biggest := payloadSizes[len(payloadSizes)-1]
+	var gobBig, flatBig PayloadCodecCell
+	for _, c := range out.Cells {
+		if c.Entries != biggest {
+			continue
+		}
+		switch c.Codec {
+		case "gob":
+			gobBig = c
+		case "flat":
+			flatBig = c
+		}
+	}
+	if ga := gobBig.EncodeAllocsPerOp; ga > 0 {
+		out.EncodeAllocReductionPct = 100 * (1 - flatBig.EncodeAllocsPerOp/ga)
+	}
+	if ga := gobBig.EncodeAllocsPerOp + gobBig.DecodeAllocsPerOp; ga > 0 {
+		fa := flatBig.EncodeAllocsPerOp + flatBig.DecodeAllocsPerOp
+		out.RoundTripAllocReductionPct = 100 * (1 - fa/ga)
+	}
+	out.DurationMs = time.Since(start).Milliseconds()
+
+	var sb strings.Builder
+	sb.WriteString("Payload codec: gob (sld1) vs flat (sld2), wordcount-shaped payloads\n")
+	sb.WriteString("entries  codec              bytes   enc-ns  enc-allocs    dec-ns  dec-allocs\n")
+	for _, c := range out.Cells {
+		fmt.Fprintf(&sb, "%7d  %-16s %7d %8.0f  %10.1f  %8.0f  %10.1f\n",
+			c.Entries, c.Codec, c.FrameBytes, c.EncodeNsPerOp, c.EncodeAllocsPerOp,
+			c.DecodeNsPerOp, c.DecodeAllocsPerOp)
+	}
+	sb.WriteString("\nwordcount slide loop (memoized state through each codec)\n")
+	sb.WriteString("codec    allocs/slide      ns/slide\n")
+	for _, c := range out.Slides {
+		fmt.Fprintf(&sb, "%-6s  %12.0f  %12.0f\n", c.Codec, c.AllocsPerSlide, c.NsPerSlide)
+	}
+	fmt.Fprintf(&sb, "\nflat vs gob at %d entries: encode allocs −%.1f%%, round trip −%.1f%%\n",
+		biggest, out.EncodeAllocReductionPct, out.RoundTripAllocReductionPct)
+	return out, sb.String(), nil
+}
+
+// WritePayloadJSON runs the head-to-head and writes BENCH_payload.json
+// to w.
+func WritePayloadJSON(w io.Writer, s Scale) error {
+	res, _, err := RunPayload(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

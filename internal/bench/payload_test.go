@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"slider/internal/persist"
+)
+
+// TestPayloadAllocBudget pins the flat codec's acceptance bound from the
+// sld2 work: steady-state encode and typed-decode of a wordcount-shaped
+// payload must stay within a fixed allocation budget, and the full
+// encode+decode path must allocate at least 90% less than the legacy gob
+// codec. Allocation counts are deterministic (testing.AllocsPerRun), so
+// unlike the timing bounds this smoke is safe on loaded CI runners.
+func TestPayloadAllocBudget(t *testing.T) {
+	const entries = 256
+	flat, err := measureFlatCodec(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pooled append encode and the ForEachInt64 walk both run at zero
+	// allocations today; the budget of 2 leaves room for incidental
+	// runtime changes without letting a per-entry regression through.
+	const budget = 2
+	if flat.EncodeAllocsPerOp > budget {
+		t.Errorf("flat encode: %.1f allocs/op, budget %d", flat.EncodeAllocsPerOp, budget)
+	}
+	if flat.DecodeAllocsPerOp > budget {
+		t.Errorf("flat decode: %.1f allocs/op, budget %d", flat.DecodeAllocsPerOp, budget)
+	}
+
+	gob, err := measureGobCodec(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobTotal := gob.EncodeAllocsPerOp + gob.DecodeAllocsPerOp
+	flatTotal := flat.EncodeAllocsPerOp + flat.DecodeAllocsPerOp
+	if gobTotal <= 0 {
+		t.Fatalf("gob codec reported %.1f allocs/op", gobTotal)
+	}
+	reduction := 100 * (1 - flatTotal/gobTotal)
+	if reduction < 90 {
+		t.Errorf("flat round trip cuts allocations by %.1f%% vs gob (flat %.1f, gob %.1f), want ≥ 90%%",
+			reduction, flatTotal, gobTotal)
+	}
+}
+
+// TestPayloadSlideAllocs runs the wordcount slide loop under both payload
+// codecs and requires the flat codec to allocate strictly less per slide:
+// the end-to-end check that the memoized-state paths actually ride the
+// flat encoder.
+func TestPayloadSlideAllocs(t *testing.T) {
+	s := Quick()
+	gob, err := measurePayloadSlides(s, persist.CodecGob, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := measurePayloadSlides(s, persist.CodecFlat, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.AllocsPerSlide >= gob.AllocsPerSlide {
+		t.Errorf("flat slide loop allocates %.0f/slide, gob %.0f/slide — flat must be cheaper",
+			flat.AllocsPerSlide, gob.AllocsPerSlide)
+	}
+}

@@ -604,7 +604,7 @@ func (p *Pool) RunMap(job *mapreduce.Job, splits []mapreduce.Split) ([]mapreduce
 	}
 	frames := make([][]byte, len(splits))
 	for i := range splits {
-		frame, err := persist.Encode(splits[i])
+		frame, err := persist.EncodeSplit(splits[i])
 		if err != nil {
 			return nil, err
 		}
@@ -840,8 +840,8 @@ func decodeResult(r MapResult, partitions int) (mapreduce.MapResult, error) {
 		Records: r.Records,
 	}
 	for i, frame := range r.PartFrames {
-		var p mapreduce.Payload
-		if err := persist.Decode(frame, &p); err != nil {
+		p, err := persist.DecodePayload(frame)
+		if err != nil {
 			return mapreduce.MapResult{}, err
 		}
 		out.Parts[i] = p

@@ -260,8 +260,10 @@ func (s *workerService) RunMap(req MapRequest, resp *MapResponse) error {
 			s.w.Kill()
 			return fmt.Errorf("dist: worker %s: injected crash", s.w.name)
 		}
-		var split mapreduce.Split
-		if err := persist.Decode(frame, &split); err != nil {
+		// Zero-copy decode: record strings alias the request frame, which
+		// stays alive (and unmodified) for the duration of the map task.
+		split, err := persist.DecodeSplitZeroCopy(frame)
+		if err != nil {
 			return fmt.Errorf("dist: worker %s: %w", s.w.name, err)
 		}
 		start := time.Now()
@@ -271,7 +273,7 @@ func (s *workerService) RunMap(req MapRequest, resp *MapResponse) error {
 		}
 		parts := make([][]byte, len(result.Parts))
 		for i, p := range result.Parts {
-			if parts[i], err = persist.Encode(p); err != nil {
+			if parts[i], err = persist.EncodePayload(p); err != nil {
 				return fmt.Errorf("dist: worker %s: %w", s.w.name, err)
 			}
 		}

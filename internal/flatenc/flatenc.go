@@ -1,0 +1,420 @@
+// Package flatenc implements the flat, length-prefixed columnar encoding
+// behind Slider's byte-shaped payload paths: memo persistence, dist RPC
+// framing, and runtime checkpoints. It replaces per-value gob encoding
+// (reflection, interface boxing, a type dictionary per stream) with a
+// single-pass arena layout that encodes a payload with zero steady-state
+// allocations (pooled buffers) and decodes into a zero-copy View that
+// exposes keys and values directly off the wire bytes — no Go map is
+// materialized until a caller actually needs one to mutate.
+//
+// # Wire layout (little-endian)
+//
+//	u8  version (currently 1)
+//	u32 count        — number of key/value entries
+//	u32 keyArenaLen  — total bytes of all keys
+//	u32 numCount     — number of 8-byte numeric values
+//	u32 byteCount    — number of byte-column values (string/[]byte/gob)
+//	u32 byteArenaLen — total bytes of the byte column
+//	tags      [count]u8     — one type tag per entry, in entry order
+//	keyLens   [count]u32    — per-entry key length
+//	numCol    [numCount]u64 — numeric values (raw bits), in entry order
+//	byteLens  [byteCount]u32
+//	keyArena  [keyArenaLen]u8  — concatenated keys
+//	byteArena [byteArenaLen]u8 — concatenated string/[]byte/gob values
+//
+// The common scalar types carried by payloads — int, int64, uint64,
+// float64, bool, string, []byte, nil — encode natively into the numeric
+// or byte column. Anything else (slices, maps, application accumulator
+// types registered via persist.RegisterType) rides the gob escape-hatch
+// column: the value is gob-encoded individually into the byte arena under
+// tagGob, preserving exact round-trip types through the process-global
+// gob registry.
+//
+// The same column machinery also encodes bare value lists (split records
+// on the dist wire — AppendValues) and payload sets (a split's
+// per-partition outputs, a checkpoint's buckets — AppendPayloadSet).
+package flatenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Payload is the structural payload type this package encodes. It is the
+// underlying type of mapreduce.Payload; call sites convert with a plain
+// type conversion (the package deliberately does not import mapreduce so
+// that mapreduce could consume Views without an import cycle).
+type Payload = map[string]any
+
+// ErrMalformed is returned when flat bytes fail structural validation.
+var ErrMalformed = errors.New("flatenc: malformed encoding")
+
+// Version is the current body-format version byte.
+const Version = 1
+
+// Value type tags. The bool value is folded into the tag so true/false
+// consume no column space.
+const (
+	tagNil uint8 = iota
+	tagFalse
+	tagTrue
+	tagInt
+	tagInt64
+	tagUint64
+	tagFloat64
+	tagString
+	tagBytes
+	tagGob
+)
+
+const headerLen = 1 + 5*4
+
+var registerOnce sync.Once
+
+// EnsureBuiltins registers the value types that appear inside payloads of
+// the bundled applications and the query layer, so they can travel
+// through the gob escape-hatch column (and through legacy gob frames).
+// It is idempotent and called by every encode/decode entry point.
+func EnsureBuiltins() {
+	registerOnce.Do(func() {
+		for _, v := range []any{
+			int(0), int64(0), uint64(0), float64(0), false, "",
+			[]byte(nil), []float64(nil), []int64(nil), []string(nil),
+			[]any(nil), map[string]int64(nil), map[string]float64(nil),
+			map[string]any(nil),
+		} {
+			gob.Register(v)
+		}
+	})
+}
+
+// gobValue wraps an escape-hatch value so gob records its concrete type
+// (decoding into an interface field requires a registered concrete type).
+type gobValue struct{ V any }
+
+// scalarTag classifies v into a native column tag, or tagGob.
+func scalarTag(v any) uint8 {
+	switch x := v.(type) {
+	case nil:
+		return tagNil
+	case bool:
+		if x {
+			return tagTrue
+		}
+		return tagFalse
+	case int:
+		return tagInt
+	case int64:
+		return tagInt64
+	case uint64:
+		return tagUint64
+	case float64:
+		return tagFloat64
+	case string:
+		return tagString
+	case []byte:
+		return tagBytes
+	default:
+		return tagGob
+	}
+}
+
+// numBits returns the numeric-column bits for a native numeric value.
+func numBits(tag uint8, v any) uint64 {
+	switch tag {
+	case tagInt:
+		return uint64(int64(v.(int)))
+	case tagInt64:
+		return uint64(v.(int64))
+	case tagUint64:
+		return v.(uint64)
+	default: // tagFloat64
+		return math.Float64bits(v.(float64))
+	}
+}
+
+// bufPool recycles encode buffers across slides. Buffers returned by
+// GetBuffer start empty with whatever capacity their previous life grew,
+// so a streaming workload's steady state encodes every payload into
+// already-warm capacity, allocation-free.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuffer returns a pooled, empty encode buffer. Pass *b as the dst of
+// AppendPayload and hand the pointer back with PutBuffer when the encoded
+// bytes have been copied out (or are no longer needed).
+func GetBuffer() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer. The caller must
+// not retain any slice of it afterwards.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > 1<<22 {
+		return // don't pin pathological giants in the pool
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// gobEncPool recycles the bytes.Buffer used for escape-hatch values.
+var gobEncPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+type entry struct {
+	k string
+	v any
+}
+
+// entsPool recycles the per-encode entry capture that pins one map
+// iteration order across the encoder's section passes (a second range
+// over a Go map visits entries in a different order).
+var entsPool = sync.Pool{
+	New: func() any {
+		s := make([]entry, 0, 64)
+		return &s
+	},
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// AppendPayload appends the flat encoding of p to dst and returns the
+// extended slice. With a pooled dst (GetBuffer) the append is
+// allocation-free at steady state for payloads of native scalar values;
+// escape-hatch values cost one pooled gob encoder pass each. On error dst
+// is returned truncated to its original length.
+func AppendPayload(dst []byte, p Payload) ([]byte, error) {
+	ents := entsPool.Get().(*[]entry)
+	for k, v := range p {
+		*ents = append(*ents, entry{k, v})
+	}
+	out, err := appendEntries(dst, *ents, true)
+	*ents = (*ents)[:0]
+	entsPool.Put(ents)
+	return out, err
+}
+
+// AppendValues appends the flat encoding of a bare value list (no keys)
+// to dst: the same layout as a payload with count entries, zero-length
+// keys, and an empty key arena. Used for split records on the dist wire.
+func AppendValues(dst []byte, vals []any) ([]byte, error) {
+	ents := entsPool.Get().(*[]entry)
+	for _, v := range vals {
+		*ents = append(*ents, entry{"", v})
+	}
+	out, err := appendEntries(dst, *ents, false)
+	*ents = (*ents)[:0]
+	entsPool.Put(ents)
+	return out, err
+}
+
+// appendEntries lays out one flat body from a pinned entry order. keyed
+// controls whether the keyLens section and key arena are emitted (value
+// lists omit both; count alone describes them).
+func appendEntries(dst []byte, ents []entry, keyed bool) ([]byte, error) {
+	EnsureBuiltins()
+	start := len(dst)
+	n := len(ents)
+	dst = append(dst, Version)
+	dst = appendU32(dst, uint32(n))
+	hdrOff := len(dst)
+	dst = appendU32(dst, 0) // keyArenaLen, patched below
+	dst = appendU32(dst, 0) // numCount
+	dst = appendU32(dst, 0) // byteCount
+	dst = appendU32(dst, 0) // byteArenaLen
+
+	// Tags and key lengths, and the column counts they imply.
+	numCount, byteCount, keyArenaLen := 0, 0, 0
+	for i := range ents {
+		tag := scalarTag(ents[i].v)
+		dst = append(dst, tag)
+		switch tag {
+		case tagInt, tagInt64, tagUint64, tagFloat64:
+			numCount++
+		case tagString, tagBytes, tagGob:
+			byteCount++
+		}
+		keyArenaLen += len(ents[i].k)
+	}
+	if keyed {
+		for i := range ents {
+			dst = appendU32(dst, uint32(len(ents[i].k)))
+		}
+	} else if keyArenaLen != 0 {
+		return dst[:start], fmt.Errorf("flatenc: value list with non-empty keys")
+	}
+
+	// Numeric column.
+	for i := range ents {
+		switch tag := scalarTag(ents[i].v); tag {
+		case tagInt, tagInt64, tagUint64, tagFloat64:
+			dst = appendU64(dst, numBits(tag, ents[i].v))
+		}
+	}
+
+	// Byte-column lengths are back-patched as the arena is written.
+	byteLensOff := len(dst)
+	for range byteCount {
+		dst = appendU32(dst, 0)
+	}
+	if keyed {
+		for i := range ents {
+			dst = append(dst, ents[i].k...)
+		}
+	}
+	bi := 0
+	byteArenaStart := len(dst)
+	for i := range ents {
+		var vb []byte
+		switch scalarTag(ents[i].v) {
+		case tagString:
+			s := ents[i].v.(string)
+			binary.LittleEndian.PutUint32(dst[byteLensOff+4*bi:], uint32(len(s)))
+			dst = append(dst, s...)
+			bi++
+			continue
+		case tagBytes:
+			vb = ents[i].v.([]byte)
+		case tagGob:
+			var err error
+			if vb, err = encodeGobValue(ents[i].v); err != nil {
+				return dst[:start], fmt.Errorf("flatenc: key %q: %w", ents[i].k, err)
+			}
+		default:
+			continue
+		}
+		binary.LittleEndian.PutUint32(dst[byteLensOff+4*bi:], uint32(len(vb)))
+		dst = append(dst, vb...)
+		bi++
+	}
+	binary.LittleEndian.PutUint32(dst[hdrOff:], uint32(keyArenaLen))
+	binary.LittleEndian.PutUint32(dst[hdrOff+4:], uint32(numCount))
+	binary.LittleEndian.PutUint32(dst[hdrOff+8:], uint32(byteCount))
+	binary.LittleEndian.PutUint32(dst[hdrOff+12:], uint32(len(dst)-byteArenaStart))
+	return dst, nil
+}
+
+// encodeGobValue gob-encodes one escape-hatch value through a pooled
+// buffer, returning a fresh copy of the encoded bytes.
+func encodeGobValue(v any) ([]byte, error) {
+	buf := gobEncPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer gobEncPool.Put(buf)
+	if err := gob.NewEncoder(buf).Encode(gobValue{V: v}); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// EncodePayload returns the flat encoding of p in a fresh, exactly-sized
+// slice. Hot paths that can recycle buffers should prefer
+// AppendPayload(*GetBuffer(), p).
+func EncodePayload(p Payload) ([]byte, error) {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	out, err := AppendPayload(*buf, p)
+	if err != nil {
+		return nil, err
+	}
+	final := append(make([]byte, 0, len(out)), out...)
+	*buf = out[:0]
+	return final, nil
+}
+
+// AppendPayloadSet appends a length-prefixed sequence of flat payload
+// bodies: u32 count, then per payload u32 bodyLen + body. It carries a
+// split's per-partition outputs or a checkpoint's bucket list in one
+// blob.
+func AppendPayloadSet(dst []byte, ps []Payload) ([]byte, error) {
+	start := len(dst)
+	dst = appendU32(dst, uint32(len(ps)))
+	for _, p := range ps {
+		lenOff := len(dst)
+		dst = appendU32(dst, 0)
+		var err error
+		dst, err = AppendPayload(dst, p)
+		if err != nil {
+			return dst[:start], err
+		}
+		binary.LittleEndian.PutUint32(dst[lenOff:], uint32(len(dst)-lenOff-4))
+	}
+	return dst, nil
+}
+
+// EncodePayloadSet returns a fresh, exactly-sized payload-set blob.
+func EncodePayloadSet(ps []Payload) ([]byte, error) {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	out, err := AppendPayloadSet(*buf, ps)
+	if err != nil {
+		return nil, err
+	}
+	final := append(make([]byte, 0, len(out)), out...)
+	*buf = out[:0]
+	return final, nil
+}
+
+// DecodePayloadSet splits a payload-set blob into its per-payload Views.
+// The Views alias data; see View for the lifetime contract.
+func DecodePayloadSet(data []byte) ([]View, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: payload set too short", ErrMalformed)
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n < 0 || n > len(data) {
+		return nil, fmt.Errorf("%w: payload set count %d", ErrMalformed, n)
+	}
+	views := make([]View, 0, n)
+	rest := data[4:]
+	for i := 0; i < n; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: payload set truncated at %d", ErrMalformed, i)
+		}
+		bodyLen := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if bodyLen < 0 || bodyLen > len(rest) {
+			return nil, fmt.Errorf("%w: payload set body %d overruns", ErrMalformed, i)
+		}
+		v, err := MakeView(rest[:bodyLen])
+		if err != nil {
+			return nil, fmt.Errorf("payload set body %d: %w", i, err)
+		}
+		views = append(views, v)
+		rest = rest[bodyLen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after payload set", ErrMalformed, len(rest))
+	}
+	return views, nil
+}
+
+// MaterializePayloadSet decodes a payload-set blob into fresh Go maps.
+func MaterializePayloadSet(data []byte) ([]Payload, error) {
+	views, err := DecodePayloadSet(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Payload, len(views))
+	for i := range views {
+		if out[i], err = views[i].Materialize(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

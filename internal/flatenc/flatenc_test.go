@@ -1,0 +1,244 @@
+package flatenc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// customValue is an application accumulator type exercising the gob
+// escape hatch (registered like persist.RegisterType would).
+type customValue struct {
+	N int64
+	S string
+}
+
+func init() { gob.Register(customValue{}) }
+
+// samplePayload mixes every native column type plus escape-hatch values.
+func samplePayload() Payload {
+	return Payload{
+		"int":     int(-42),
+		"int64":   int64(1 << 40),
+		"uint64":  uint64(1<<63 + 7),
+		"float":   3.14159,
+		"negzero": math_NegZero(),
+		"true":    true,
+		"false":   false,
+		"nil":     nil,
+		"string":  "hello world",
+		"empty":   "",
+		"bytes":   []byte{0, 1, 2, 255},
+		"floats":  []float64{1.5, 2.5},
+		"ints":    []int64{3, 4, 5},
+		"strs":    []string{"a", "b"},
+		"anys":    []any{int64(1), "x"},
+		"m64":     map[string]int64{"k": 9},
+		"mf":      map[string]float64{"q": 0.5},
+		"custom":  customValue{N: 11, S: "acc"},
+	}
+}
+
+func math_NegZero() float64 {
+	z := 0.0
+	return -z
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	p := samplePayload()
+	frame, err := EncodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := MakeView(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != len(p) {
+		t.Fatalf("view len %d, want %d", v.Len(), len(p))
+	}
+	got, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, p)
+	}
+	// Concrete types must survive exactly (int vs int64 matters for
+	// fingerprints).
+	for k, want := range p {
+		if want == nil {
+			continue
+		}
+		if reflect.TypeOf(got[k]) != reflect.TypeOf(want) {
+			t.Errorf("key %q: type %T, want %T", k, got[k], want)
+		}
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	frame, err := EncodePayload(Payload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := MakeView(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 0 {
+		t.Fatalf("empty payload view len %d", v.Len())
+	}
+	got, err := v.Materialize()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty materialize: %v %v", got, err)
+	}
+}
+
+func TestViewGetAndForEachOrder(t *testing.T) {
+	p := Payload{"a": int64(1), "b": "two", "c": nil}
+	frame, err := EncodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := MakeView(frame)
+	for k, want := range p {
+		got, ok := v.Get(k)
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Fatalf("Get(%q) = %v,%v want %v", k, got, ok, want)
+		}
+	}
+	if _, ok := v.Get("missing"); ok {
+		t.Fatal("Get(missing) found something")
+	}
+	// ForEach must visit every entry exactly once.
+	seen := map[string]int{}
+	if err := v.ForEach(func(k string, _ any) bool { seen[k]++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	for k := range p {
+		if seen[k] != 1 {
+			t.Fatalf("key %q visited %d times", k, seen[k])
+		}
+	}
+}
+
+func TestValueListRoundTrip(t *testing.T) {
+	vals := []any{"line one", "line two", int64(7), nil, true, []byte{9}, customValue{N: 1}}
+	body, err := AppendValues(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := MakeValuesView(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.MaterializeValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("value list mismatch:\n got %#v\nwant %#v", got, vals)
+	}
+	// Zero-copy Values must agree too (strings alias the frame).
+	zc, err := v.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zc, vals) {
+		t.Fatalf("zero-copy values mismatch: %#v", zc)
+	}
+}
+
+func TestPayloadSetRoundTrip(t *testing.T) {
+	set := []Payload{
+		{"a": int64(1)},
+		{},
+		{"b": "x", "c": 2.5},
+	}
+	blob, err := EncodePayloadSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MaterializePayloadSet(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(set) {
+		t.Fatalf("set len %d, want %d", len(got), len(set))
+	}
+	for i := range set {
+		if !reflect.DeepEqual(got[i], set[i]) {
+			t.Fatalf("payload %d mismatch: %#v vs %#v", i, got[i], set[i])
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	frame, err := EncodePayload(Payload{"key": "value", "n": int64(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every boundary must fail cleanly, never panic.
+	for cut := 0; cut < len(frame); cut++ {
+		if v, err := MakeView(frame[:cut]); err == nil {
+			// A shorter valid prefix is impossible: sections must sum to
+			// the exact length.
+			t.Fatalf("truncated frame at %d accepted: %+v", cut, v)
+		}
+	}
+	// A bad version byte is rejected.
+	bad := append([]byte(nil), frame...)
+	bad[0] = 99
+	if _, err := MakeView(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestPooledEncodeIsAllocationFree(t *testing.T) {
+	p := Payload{}
+	for i := 0; i < 64; i++ {
+		p[fmt.Sprintf("key-%d", i)] = int64(i)
+	}
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	// Warm the buffer and the entry pool.
+	out, err := AppendPayload(*buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*buf = out[:0]
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := AppendPayload(*buf, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*buf = out[:0]
+	})
+	// The steady state re-uses the pooled buffer and entry capture; a
+	// fraction of an alloc per run can appear from pool churn under GC.
+	if allocs > 2 {
+		t.Fatalf("pooled encode allocates %.1f/op, want ≤ 2", allocs)
+	}
+}
+
+func TestMaterializeDetachesFromFrame(t *testing.T) {
+	p := Payload{"word": "payload", "blob": []byte("abc")}
+	frame, err := EncodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := MakeView(frame)
+	got, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scribbling over the frame must not affect the materialized map.
+	for i := range frame {
+		frame[i] = 0xAA
+	}
+	if got["word"] != "payload" || !bytes.Equal(got["blob"].([]byte), []byte("abc")) {
+		t.Fatalf("materialized map aliases the frame: %#v", got)
+	}
+}

@@ -1,0 +1,159 @@
+package flatenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// valueFromBytes deterministically builds one payload value from the fuzz
+// byte stream, covering every registerBuiltins type plus the custom
+// registered accumulator type. It consumes bytes from *off.
+func valueFromBytes(data []byte, off *int) any {
+	next := func() byte {
+		if *off >= len(data) {
+			return 0
+		}
+		b := data[*off]
+		*off++
+		return b
+	}
+	u64 := func() uint64 {
+		var raw [8]byte
+		for i := range raw {
+			raw[i] = next()
+		}
+		return binary.LittleEndian.Uint64(raw[:])
+	}
+	str := func() string {
+		n := int(next()) % 16
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = 'a' + next()%26
+		}
+		return string(b)
+	}
+	switch next() % 18 {
+	case 0:
+		return nil
+	case 1:
+		return next()%2 == 0
+	case 2:
+		return int(int64(u64()))
+	case 3:
+		return int64(u64())
+	case 4:
+		return u64()
+	case 5:
+		// NaN breaks DeepEqual; keep floats comparable.
+		f := math.Float64frombits(u64())
+		if math.IsNaN(f) {
+			f = 0.5
+		}
+		return f
+	case 6:
+		return str()
+	case 7:
+		b := []byte(str())
+		if len(b) == 0 {
+			b = []byte{}
+		}
+		return b
+	case 8:
+		return []float64{float64(next()), float64(next()) / 2}
+	case 9:
+		return []int64{int64(next()), -int64(next())}
+	case 10:
+		return []string{str(), str()}
+	case 11:
+		return []any{int64(next()), str()}
+	case 12:
+		return map[string]int64{str(): int64(next())}
+	case 13:
+		return map[string]float64{str(): float64(next())}
+	case 14:
+		return map[string]any{str(): int64(next())}
+	case 15:
+		return customValue{N: int64(u64()), S: str()}
+	case 16:
+		return ""
+	default:
+		return int64(-1)
+	}
+}
+
+// gobRoundTrip pushes p through the legacy gob path (the sld1 codec's
+// core): one encoder, one decoder, payload as a whole.
+func gobRoundTrip(t *testing.T, p Payload) Payload {
+	t.Helper()
+	EnsureBuiltins()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var out Payload
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	return out
+}
+
+// FuzzFlatCodec asserts flat encode→decode ≡ gob encode→decode on
+// payloads mixing every builtin value type plus a custom registered type:
+// the two codecs must agree value-for-value (same keys, same concrete
+// types, same contents), so swapping frame versions can never change what
+// a restore or a worker sees.
+func FuzzFlatCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17})
+	f.Add(bytes.Repeat([]byte{0xFF, 0x00, 0x7E}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		n := 0
+		if len(data) > 0 {
+			n = int(data[0]) % 32
+			off = 1
+		}
+		p := make(Payload, n)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%d-%c", i, 'a'+byte(i)%26)
+			p[key] = valueFromBytes(data, &off)
+		}
+
+		frame, err := EncodePayload(p)
+		if err != nil {
+			t.Fatalf("flat encode: %v", err)
+		}
+		view, err := MakeView(frame)
+		if err != nil {
+			t.Fatalf("flat view: %v", err)
+		}
+		flat, err := view.Materialize()
+		if err != nil {
+			t.Fatalf("flat materialize: %v", err)
+		}
+		viaGob := gobRoundTrip(t, p)
+		if len(p) == 0 {
+			// gob decodes an empty map to nil; both must be empty.
+			if len(flat) != 0 || len(viaGob) != 0 {
+				t.Fatalf("empty payload mismatch: flat=%v gob=%v", flat, viaGob)
+			}
+			return
+		}
+		if !reflect.DeepEqual(flat, viaGob) {
+			t.Fatalf("codec divergence:\nflat %#v\ngob  %#v", flat, viaGob)
+		}
+		for k, v := range viaGob {
+			if v == nil {
+				continue
+			}
+			if reflect.TypeOf(flat[k]) != reflect.TypeOf(v) {
+				t.Fatalf("key %q: flat type %T, gob type %T", k, flat[k], v)
+			}
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package flatenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"strings"
+	"unsafe"
+)
+
+// View is a zero-copy reader over one flat payload body. It holds section
+// offsets into the raw bytes and materializes nothing: keys and string
+// values handed out by ForEach are unsafe.String views directly over the
+// frame, valid only while the frame bytes stay alive and unmodified.
+// Callers that retain keys or values past the frame's lifetime (a pooled
+// RPC buffer about to be recycled, a mutable copy) must go through
+// Materialize, which copies everything into independent memory.
+//
+// A View is a small value type; copying it is free and no Close is
+// needed.
+type View struct {
+	data []byte // full body, including header
+	n    int    // entry count
+
+	tagsOff     int
+	keyLensOff  int // -1 for value lists (no keys)
+	numOff      int
+	byteLensOff int
+	keyArenaOff int
+	byteArena   int
+}
+
+// MakeView validates the structure of one flat body and returns a View
+// over it. Validation is O(1): section bounds are checked from the
+// header; per-entry lengths are checked lazily as sections are walked.
+func MakeView(data []byte) (View, error) {
+	return makeView(data, true)
+}
+
+// MakeValuesView validates a bare value-list body (AppendValues).
+func MakeValuesView(data []byte) (View, error) {
+	return makeView(data, false)
+}
+
+func makeView(data []byte, keyed bool) (View, error) {
+	if len(data) < headerLen {
+		return View{}, fmt.Errorf("%w: %d bytes, want ≥ %d", ErrMalformed, len(data), headerLen)
+	}
+	if data[0] != Version {
+		return View{}, fmt.Errorf("%w: version %d, want %d", ErrMalformed, data[0], Version)
+	}
+	n := int(binary.LittleEndian.Uint32(data[1:]))
+	keyArenaLen := int(binary.LittleEndian.Uint32(data[5:]))
+	numCount := int(binary.LittleEndian.Uint32(data[9:]))
+	byteCount := int(binary.LittleEndian.Uint32(data[13:]))
+	byteArenaLen := int(binary.LittleEndian.Uint32(data[17:]))
+	if n < 0 || numCount < 0 || byteCount < 0 || numCount > n || byteCount > n {
+		return View{}, fmt.Errorf("%w: counts %d/%d/%d", ErrMalformed, n, numCount, byteCount)
+	}
+	if !keyed && keyArenaLen != 0 {
+		return View{}, fmt.Errorf("%w: value list with key arena", ErrMalformed)
+	}
+	v := View{data: data, n: n, tagsOff: headerLen}
+	off := headerLen + n // tags
+	if keyed {
+		v.keyLensOff = off
+		off += 4 * n
+	} else {
+		v.keyLensOff = -1
+	}
+	v.numOff = off
+	off += 8 * numCount
+	v.byteLensOff = off
+	off += 4 * byteCount
+	v.keyArenaOff = off
+	off += keyArenaLen
+	v.byteArena = off
+	off += byteArenaLen
+	if off != len(data) {
+		return View{}, fmt.Errorf("%w: size %d, sections need %d", ErrMalformed, len(data), off)
+	}
+	return v, nil
+}
+
+// Len returns the number of entries.
+func (v View) Len() int { return v.n }
+
+// unsafeString exposes b as a string without copying. The result aliases
+// the view's frame; see the View lifetime contract.
+func unsafeString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// ForEach calls fn for every entry in encoded order, stopping early when
+// fn returns false. Keys and string values are zero-copy views over the
+// frame; []byte values are sub-slices of it; escape-hatch (gob) values
+// are freshly decoded. It returns an error only on structural corruption
+// (a per-entry length overrunning its arena).
+func (v View) ForEach(fn func(key string, value any) bool) error {
+	keyOff, numIdx, byteOff, byteIdx := v.keyArenaOff, 0, v.byteArena, 0
+	for i := 0; i < v.n; i++ {
+		var key string
+		if v.keyLensOff >= 0 {
+			kl := int(binary.LittleEndian.Uint32(v.data[v.keyLensOff+4*i:]))
+			if kl < 0 || keyOff+kl > v.byteArena {
+				return fmt.Errorf("%w: key %d overruns arena", ErrMalformed, i)
+			}
+			key = unsafeString(v.data[keyOff : keyOff+kl])
+			keyOff += kl
+		}
+		val, nBytes, err := v.value(i, numIdx, byteOff, byteIdx)
+		if err != nil {
+			return err
+		}
+		switch v.data[v.tagsOff+i] {
+		case tagInt, tagInt64, tagUint64, tagFloat64:
+			numIdx++
+		case tagString, tagBytes, tagGob:
+			byteOff += nBytes
+			byteIdx++
+		}
+		if !fn(key, val) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ForEachInt64 visits every entry whose value is an integer scalar (int
+// or int64) as an int64, stopping early when fn returns false. Unlike
+// ForEach it never boxes values into interfaces, so the walk allocates
+// nothing — the fast path for consumers that know their payload shape,
+// like counting reducers summing a wire frame. Entries of any other type
+// are skipped; the count of skipped entries is returned so callers can
+// detect a shape mismatch. Keys follow the View aliasing contract.
+func (v View) ForEachInt64(fn func(key string, value int64) bool) (skipped int, err error) {
+	keyOff, numIdx, byteOff, byteIdx := v.keyArenaOff, 0, v.byteArena, 0
+	for i := 0; i < v.n; i++ {
+		var key string
+		if v.keyLensOff >= 0 {
+			kl := int(binary.LittleEndian.Uint32(v.data[v.keyLensOff+4*i:]))
+			if kl < 0 || keyOff+kl > v.byteArena {
+				return skipped, fmt.Errorf("%w: key %d overruns arena", ErrMalformed, i)
+			}
+			key = unsafeString(v.data[keyOff : keyOff+kl])
+			keyOff += kl
+		}
+		switch tag := v.data[v.tagsOff+i]; tag {
+		case tagInt, tagInt64:
+			n := int64(binary.LittleEndian.Uint64(v.data[v.numOff+8*numIdx:]))
+			numIdx++
+			if !fn(key, n) {
+				return skipped, nil
+			}
+		case tagUint64, tagFloat64:
+			numIdx++
+			skipped++
+		case tagString, tagBytes, tagGob:
+			bl := int(binary.LittleEndian.Uint32(v.data[v.byteLensOff+4*byteIdx:]))
+			if bl < 0 || byteOff+bl > len(v.data) {
+				return skipped, fmt.Errorf("%w: value %d overruns arena", ErrMalformed, i)
+			}
+			byteOff += bl
+			byteIdx++
+			skipped++
+		case tagNil, tagFalse, tagTrue:
+			skipped++
+		default:
+			return skipped, fmt.Errorf("%w: unknown tag %d", ErrMalformed, tag)
+		}
+	}
+	return skipped, nil
+}
+
+// value decodes entry i given the current column cursors, returning the
+// value and (for byte-column entries) its arena length.
+func (v View) value(i, numIdx, byteOff, byteIdx int) (any, int, error) {
+	switch tag := v.data[v.tagsOff+i]; tag {
+	case tagNil:
+		return nil, 0, nil
+	case tagFalse:
+		return false, 0, nil
+	case tagTrue:
+		return true, 0, nil
+	case tagInt, tagInt64, tagUint64, tagFloat64:
+		bits := binary.LittleEndian.Uint64(v.data[v.numOff+8*numIdx:])
+		switch tag {
+		case tagInt:
+			return int(int64(bits)), 0, nil
+		case tagInt64:
+			return int64(bits), 0, nil
+		case tagUint64:
+			return bits, 0, nil
+		default:
+			return math.Float64frombits(bits), 0, nil
+		}
+	case tagString, tagBytes, tagGob:
+		bl := int(binary.LittleEndian.Uint32(v.data[v.byteLensOff+4*byteIdx:]))
+		if bl < 0 || byteOff+bl > len(v.data) {
+			return nil, 0, fmt.Errorf("%w: value %d overruns arena", ErrMalformed, i)
+		}
+		raw := v.data[byteOff : byteOff+bl]
+		switch tag {
+		case tagString:
+			return unsafeString(raw), bl, nil
+		case tagBytes:
+			return raw, bl, nil
+		default:
+			val, err := decodeGobValue(raw)
+			if err != nil {
+				return nil, 0, fmt.Errorf("flatenc: entry %d: %w", i, err)
+			}
+			return val, bl, nil
+		}
+	default:
+		return nil, 0, fmt.Errorf("%w: unknown tag %d", ErrMalformed, v.data[v.tagsOff+i])
+	}
+}
+
+// decodeGobValue decodes one escape-hatch value.
+func decodeGobValue(raw []byte) (any, error) {
+	EnsureBuiltins()
+	var w gobValue
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
+		return nil, err
+	}
+	return w.V, nil
+}
+
+// Get returns the value stored under key, or (nil, false). The lookup is
+// a linear scan — Views are meant for full-pass consumers (merges,
+// materialization); random access over large payloads should materialize
+// first. The returned value follows ForEach's aliasing rules.
+func (v View) Get(key string) (any, bool) {
+	var out any
+	found := false
+	_ = v.ForEach(func(k string, val any) bool {
+		if k == key {
+			out, found = val, true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// Materialize builds a fresh Go map from the view. Keys and string/[]byte
+// values are copied into independent memory, so the result is safe to
+// retain and mutate after the frame is recycled. The map is allocated at
+// exactly the entry count; this is the only map allocation on the decode
+// path.
+func (v View) Materialize() (Payload, error) {
+	out := make(Payload, v.n)
+	err := v.ForEach(func(key string, val any) bool {
+		k := strings.Clone(key) // detach from the frame
+		switch x := val.(type) {
+		case string:
+			val = strings.Clone(x)
+		case []byte:
+			val = append([]byte(nil), x...)
+		}
+		out[k] = val
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MaterializeValues decodes a value-list view into a fresh []any with
+// detached strings and byte slices.
+func (v View) MaterializeValues() ([]any, error) {
+	out := make([]any, 0, v.n)
+	err := v.ForEach(func(_ string, val any) bool {
+		switch x := val.(type) {
+		case string:
+			val = strings.Clone(x)
+		case []byte:
+			val = append([]byte(nil), x...)
+		}
+		out = append(out, val)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Values decodes a value-list view zero-copy: strings and []byte values
+// alias the frame. Valid only while the frame stays alive and unmodified
+// — the dist worker uses this to run map tasks straight off the wire.
+func (v View) Values() ([]any, error) {
+	out := make([]any, 0, v.n)
+	err := v.ForEach(func(_ string, val any) bool {
+		out = append(out, val)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package flatenc
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestForEachInt64(t *testing.T) {
+	p := Payload{
+		"a": int64(1), "b": int(2), "c": "text", "d": uint64(3),
+		"e": 4.5, "f": nil, "g": true, "h": []byte{9},
+	}
+	frame, err := EncodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := MakeView(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	skipped, err := view.ForEachInt64(func(k string, v int64) bool {
+		got[k] = v
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["a"] != 1 || got["b"] != 2 {
+		t.Fatalf("integer entries = %v", got)
+	}
+	if skipped != len(p)-2 {
+		t.Fatalf("skipped %d entries, want %d", skipped, len(p)-2)
+	}
+
+	// Early stop.
+	calls := 0
+	if _, err := view.ForEachInt64(func(string, int64) bool { calls++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("early stop made %d calls", calls)
+	}
+}
+
+func TestForEachInt64Allocs(t *testing.T) {
+	p := make(Payload, 512)
+	for i := 0; i < 512; i++ {
+		p[fmt.Sprintf("key-%03d", i)] = int64(i * 1000)
+	}
+	frame, err := EncodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink int64
+	allocs := testing.AllocsPerRun(50, func() {
+		view, err := MakeView(frame)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := view.ForEachInt64(func(_ string, v int64) bool {
+			sink += v
+			return true
+		}); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ForEachInt64 walk allocated %.1f/op, want 0", allocs)
+	}
+	_ = sink
+}

@@ -1,9 +1,17 @@
 // Package persist provides the serialization and durable-storage
-// machinery behind Slider's fault-tolerant state handling: a gob-based
-// codec with checksummed framing for memoized payloads and runtime
-// checkpoints, and an atomic file store with corruption detection and
-// replica fallback — the persistent half of the paper's memoization
-// layer (§6), realized with real bytes on a real filesystem.
+// machinery behind Slider's fault-tolerant state handling: checksummed
+// framing for memoized payloads, dist RPC bodies and runtime checkpoints
+// — a gob codec for arbitrary values (frame version sld1) and the flat
+// columnar payload codec of internal/flatenc (frame version sld2) — and
+// an atomic file store with corruption detection and replica fallback,
+// the persistent half of the paper's memoization layer (§6), realized
+// with real bytes on a real filesystem.
+//
+// Version negotiation is per frame: encoders emit the configured codec's
+// frames (flat by default for payload-shaped data); every decoder
+// dispatches on the frame magic, so legacy gob frames written before the
+// flat codec existed — checkpoints, persisted payloads, frames from an
+// old worker across a mixed-version cluster — still decode.
 package persist
 
 import (
@@ -14,6 +22,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+
+	"slider/internal/flatenc"
 )
 
 // ErrCorrupt is returned when a frame fails its checksum or is
@@ -27,22 +37,17 @@ var (
 
 // registerBuiltins registers the value types that appear inside payloads
 // of the bundled applications and the query layer, so they can travel
-// through interface-typed gob fields.
+// through interface-typed gob fields. The list lives in flatenc (whose
+// escape-hatch column shares the process-global gob registry).
 func registerBuiltins() {
-	for _, v := range []any{
-		int(0), int64(0), uint64(0), float64(0), false, "",
-		[]byte(nil), []float64(nil), []int64(nil), []string(nil),
-		[]any(nil), map[string]int64(nil), map[string]float64(nil),
-		map[string]any(nil),
-	} {
-		gob.Register(v)
-	}
+	flatenc.EnsureBuiltins()
 }
 
 // RegisterType makes a concrete application value type serializable when
-// stored behind an interface (payload values, query rows). Call it once
-// per custom Combine value type before checkpointing, e.g.
-// persist.RegisterType(&MyAccumulator{}).
+// stored behind an interface (payload values, query rows) — both through
+// legacy gob frames and through the flat codec's gob escape-hatch
+// column. Call it once per custom Combine value type before
+// checkpointing, e.g. persist.RegisterType(&MyAccumulator{}).
 func RegisterType(v any) {
 	registerMu.Lock()
 	defer registerMu.Unlock()

@@ -244,7 +244,9 @@ func runRuntime(tr Trace, opt Options) error {
 				}
 			}
 		case OpCheckpoint:
+			fps := make([]uint64, len(reps))
 			for i, rep := range reps {
+				before := rep.rt.StateFingerprint()
 				var buf bytes.Buffer
 				if err := rep.rt.Checkpoint(&buf); err != nil {
 					return fail(step, "checkpoint", "par=%d: %v", pars[i], err)
@@ -257,7 +259,25 @@ func runRuntime(tr Trace, opt Options) error {
 					return fail(step, "restore", "par=%d window bookkeeping: live %d/%d lo %d/%d",
 						pars[i], restored.Live(), rep.rt.Live(), restored.WindowLo(), rep.rt.WindowLo())
 				}
+				// The restored state must be logically identical to what was
+				// checkpointed — the codec round trip (flat frames, arena
+				// views, materialization) must not perturb a single payload.
+				fps[i] = restored.StateFingerprint()
+				if fps[i] != before {
+					return fail(step, "restore-fingerprint",
+						"par=%d restored fingerprint %#x != checkpointed %#x", pars[i], fps[i], before)
+				}
 				rep.rt = restored // continue from the restored state
+			}
+			// And identical across parallelism levels: the window state a
+			// checkpoint captures may not depend on how many goroutines
+			// computed it.
+			for i := 1; i < len(fps); i++ {
+				if fps[i] != fps[0] {
+					return fail(step, "par-fingerprint",
+						"par=%d checkpoint fingerprint %#x != par=%d fingerprint %#x",
+						pars[i], fps[i], pars[0], fps[0])
+				}
 			}
 		case OpFailNode:
 			for _, rep := range reps {

@@ -9,8 +9,12 @@ import (
 	"slider/internal/persist"
 )
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk format. Version 2 carries payload
+// state as flat byte blobs (internal/flatenc via persist frames) inside
+// the gob-framed metadata; version 1 carried live Payload maps and is
+// still restorable — gob tolerates the missing flat fields, and Restore
+// dispatches on Version per partition.
+const checkpointVersion = 2
 
 // checkpointState is the serialized form of a Runtime between runs: the
 // window bookkeeping plus, per partition, the minimal tree state from
@@ -37,19 +41,31 @@ type checkpointState struct {
 
 // partCheckpoint holds one partition's tree state. Exactly one field
 // group is populated, matching the runtime's mode and engine.
+//
+// Version 1 checkpoints carried payloads in the gob-encoded map fields
+// (Root, Pending, Buckets, LeafPayloads); version 2 writes the same state
+// as flat frames in the Flat* fields and leaves the map fields nil. Both
+// decode through the same struct: gob silently skips fields absent from
+// the stream.
 type partCheckpoint struct {
 	// Append mode (coalescing tree).
-	Root       Payload
+	Root       Payload // v1 only
 	HasRoot    bool
-	Pending    Payload
+	Pending    Payload // v1 only
 	HasPending bool
-	// Fixed mode (rotating tree).
-	Buckets []Payload
+	// Fixed mode (rotating or daba buckets).
+	Buckets []Payload // v1 only
 	Victim  int
 	Filled  bool
 	// Variable mode and the strawman engine (leaf sequences).
 	LeafIDs      []uint64
-	LeafPayloads []Payload
+	LeafPayloads []Payload // v1 only
+	// Version 2 flat state: payload frames (persist.EncodePayload) and
+	// payload-set frames (persist.EncodePayloadSet).
+	FlatRoot    []byte
+	FlatPending []byte
+	FlatBuckets []byte
+	FlatLeaves  []byte
 }
 
 // Checkpoint serializes the runtime's window state so that processing can
@@ -77,29 +93,48 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 	}
 	for p := 0; p < rt.parts; p++ {
 		pc := &st.Partitions[p]
+		var err error
 		switch {
 		case rt.cfg.Engine == Strawman:
+			var leafPayloads []Payload
 			for _, leaf := range rt.leaves[p] {
 				pc.LeafIDs = append(pc.LeafIDs, leaf.ID)
-				pc.LeafPayloads = append(pc.LeafPayloads, leaf.Payload)
+				leafPayloads = append(leafPayloads, leaf.Payload)
 			}
+			pc.FlatLeaves, err = persist.EncodePayloadSet(leafPayloads)
 		case rt.cfg.Mode == Append:
-			pc.Root, pc.HasRoot = rt.coal[p].Root()
-			pc.Pending, pc.HasPending = rt.coal[p].PendingPayload()
+			var root, pending Payload
+			root, pc.HasRoot = rt.coal[p].Root()
+			pending, pc.HasPending = rt.coal[p].PendingPayload()
+			if pc.HasRoot {
+				if pc.FlatRoot, err = persist.EncodePayload(root); err != nil {
+					break
+				}
+			}
+			if pc.HasPending {
+				pc.FlatPending, err = persist.EncodePayload(pending)
+			}
 		case rt.cfg.Mode == Fixed:
+			var buckets []Payload
 			if rt.backend == BackendDaba {
-				pc.Buckets, pc.Filled = rt.daba[p].BucketPayloads()
+				buckets, pc.Filled = rt.daba[p].BucketPayloads()
 			} else {
-				pc.Buckets, pc.Filled = rt.rot[p].BucketPayloads()
+				buckets, pc.Filled = rt.rot[p].BucketPayloads()
 				pc.Victim = rt.rot[p].Victim()
 			}
+			pc.FlatBuckets, err = persist.EncodePayloadSet(buckets)
 		case rt.cfg.Randomized:
+			var leafPayloads []Payload
 			for _, item := range rt.rnd[p].Items() {
 				pc.LeafIDs = append(pc.LeafIDs, item.ID)
-				pc.LeafPayloads = append(pc.LeafPayloads, item.Payload)
+				leafPayloads = append(leafPayloads, item.Payload)
 			}
+			pc.FlatLeaves, err = persist.EncodePayloadSet(leafPayloads)
 		default:
-			pc.LeafPayloads = rt.fold[p].Payloads()
+			pc.FlatLeaves, err = persist.EncodePayloadSet(rt.fold[p].Payloads())
+		}
+		if err != nil {
+			return fmt.Errorf("sliderrt: checkpoint partition %d: %w", p, err)
 		}
 	}
 	frame, err := persist.Encode(st)
@@ -110,6 +145,45 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 		return fmt.Errorf("sliderrt: checkpoint write: %w", err)
 	}
 	return nil
+}
+
+// rootPayload returns the partition's coalescing root, version-dispatched:
+// flat frame for v2, live map for v1.
+func (pc *partCheckpoint) rootPayload(version int) (Payload, error) {
+	if version < 2 {
+		return pc.Root, nil
+	}
+	if !pc.HasRoot {
+		return nil, nil
+	}
+	return persist.DecodePayload(pc.FlatRoot)
+}
+
+// pendingPayload returns the partition's pending coalescing payload.
+func (pc *partCheckpoint) pendingPayload(version int) (Payload, error) {
+	if version < 2 {
+		return pc.Pending, nil
+	}
+	if !pc.HasPending {
+		return nil, nil
+	}
+	return persist.DecodePayload(pc.FlatPending)
+}
+
+// bucketPayloads returns the partition's Fixed-mode buckets.
+func (pc *partCheckpoint) bucketPayloads(version int) ([]Payload, error) {
+	if version < 2 {
+		return pc.Buckets, nil
+	}
+	return persist.DecodePayloadSet(pc.FlatBuckets)
+}
+
+// leafPayloadList returns the partition's leaf payload sequence.
+func (pc *partCheckpoint) leafPayloadList(version int) ([]Payload, error) {
+	if version < 2 {
+		return pc.LeafPayloads, nil
+	}
+	return persist.DecodePayloadSet(pc.FlatLeaves)
 }
 
 // Restore reconstructs a runtime from a checkpoint produced by
@@ -126,7 +200,7 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 	if err := persist.Decode(frame, &st); err != nil {
 		return nil, fmt.Errorf("sliderrt: restore: %w", err)
 	}
-	if st.Version != checkpointVersion {
+	if st.Version < 1 || st.Version > checkpointVersion {
 		return nil, fmt.Errorf("sliderrt: restore: unsupported checkpoint version %d", st.Version)
 	}
 	rt, err := New(job, cfg)
@@ -167,20 +241,36 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 		pc := &st.Partitions[p]
 		switch {
 		case rt.cfg.Engine == Strawman:
-			items := make([]core.Item[Payload], len(pc.LeafPayloads))
-			for i := range pc.LeafPayloads {
-				items[i] = core.Item[Payload]{ID: pc.LeafIDs[i], Payload: pc.LeafPayloads[i]}
+			leafPayloads, err := pc.leafPayloadList(st.Version)
+			if err != nil {
+				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
+			}
+			items := make([]core.Item[Payload], len(leafPayloads))
+			for i := range leafPayloads {
+				items[i] = core.Item[Payload]{ID: pc.LeafIDs[i], Payload: leafPayloads[i]}
 			}
 			rt.leaves[p] = items
 			rt.straw[p].Build(items)
 		case rt.cfg.Mode == Append:
-			rt.coal[p].Restore(pc.Root, pc.HasRoot, pc.Pending, pc.HasPending)
+			root, err := pc.rootPayload(st.Version)
+			if err != nil {
+				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
+			}
+			pending, err := pc.pendingPayload(st.Version)
+			if err != nil {
+				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
+			}
+			rt.coal[p].Restore(root, pc.HasRoot, pending, pc.HasPending)
 		case rt.cfg.Mode == Fixed:
 			if !pc.Filled {
 				return nil, fmt.Errorf("sliderrt: restore: partition %d window not filled", p)
 			}
+			buckets, err := pc.bucketPayloads(st.Version)
+			if err != nil {
+				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
+			}
 			if rt.backend == BackendDaba {
-				bs := pc.Buckets
+				bs := buckets
 				if st.Backend == BackendAuto && pc.Victim != 0 {
 					// Pre-backend checkpoints (Backend unrecorded, gob
 					// zero) were written by the rotating tree: Buckets are
@@ -199,7 +289,7 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 				}
 				break
 			}
-			if err := rt.rot[p].RestoreAt(pc.Buckets, pc.Victim); err != nil {
+			if err := rt.rot[p].RestoreAt(buckets, pc.Victim); err != nil {
 				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
 			}
 			if rt.cfg.SplitProcessing {
@@ -208,13 +298,21 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 				}
 			}
 		case rt.cfg.Randomized:
-			items := make([]core.Item[Payload], len(pc.LeafPayloads))
-			for i := range pc.LeafPayloads {
-				items[i] = core.Item[Payload]{ID: pc.LeafIDs[i], Payload: pc.LeafPayloads[i]}
+			leafPayloads, err := pc.leafPayloadList(st.Version)
+			if err != nil {
+				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
+			}
+			items := make([]core.Item[Payload], len(leafPayloads))
+			for i := range leafPayloads {
+				items[i] = core.Item[Payload]{ID: pc.LeafIDs[i], Payload: leafPayloads[i]}
 			}
 			rt.rnd[p].Init(items)
 		default:
-			rt.fold[p].Init(pc.LeafPayloads)
+			leafPayloads, err := pc.leafPayloadList(st.Version)
+			if err != nil {
+				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
+			}
+			rt.fold[p].Init(leafPayloads)
 		}
 	}
 	rt.seq = st.Seq

@@ -265,7 +265,11 @@ func TestRestoreLegacyVictimOutOfRange(t *testing.T) {
 	}
 	st.Backend = BackendAuto
 	for p := range st.Partitions {
-		st.Partitions[p].Victim = len(st.Partitions[p].Buckets)
+		buckets, err := persist.DecodePayloadSet(st.Partitions[p].FlatBuckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Partitions[p].Victim = len(buckets)
 	}
 	frame, err := persist.Encode(st)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"slider/internal/mapreduce"
 	"slider/internal/memo"
 	"slider/internal/metrics"
+	"slider/internal/persist"
 )
 
 // Payload aliases the contraction-phase payload type.
@@ -53,7 +54,6 @@ type Runtime struct {
 	backend Backend // resolved aggregation backend (may live-switch)
 	store   *memo.Store
 	parts   int
-	sizes   *payloadSizes // memoized PayloadBytes per payload identity
 	faults  *metrics.FaultRecorder
 
 	seq      uint64 // next split sequence number
@@ -103,7 +103,6 @@ func New(job *mapreduce.Job, cfg Config) (*Runtime, error) {
 		backend: backend,
 		store:   memo.NewStore(cfg.Memo),
 		parts:   job.NumPartitions(),
-		sizes:   newPayloadSizes(),
 		faults:  cfg.Faults,
 	}
 	if cfg.Obs != nil {
@@ -179,7 +178,15 @@ func (rt *Runtime) mapAdds(splits []mapreduce.Split, rec *metrics.Recorder) ([]m
 	var counters metrics.Counters
 	for i, r := range results {
 		id := base + uint64(i)
-		writeNs := rt.store.Put("map:"+r.SplitID, r.Parts, r.Bytes, id, id)
+		// Memoized map outputs live as flat bytes, not as live Go maps: one
+		// payload-set blob per split keeps the memo layer's resident state
+		// off the GC scan path. The entry's accounted size stays r.Bytes
+		// (the cost-model estimate), independent of the encoding.
+		var stored any = r.Parts
+		if blob, err := persist.EncodePayloadSet(r.Parts); err == nil {
+			stored = blob
+		}
+		writeNs := rt.store.Put("map:"+r.SplitID, stored, r.Bytes, id, id)
 		rec.RecordTask(metrics.Task{
 			Phase:         metrics.PhaseMap,
 			Cost:          r.Cost + time.Duration(writeNs),
@@ -618,7 +625,7 @@ func (rt *Runtime) reduceAll(rec *metrics.Recorder, roots [][]Payload) mapreduce
 		partOut, calls := mapreduce.ReducePayload(rt.job, roots[p])
 		var bytes int64
 		for _, r := range roots[p] {
-			bytes += rt.sizes.bytes(rt.job, r)
+			bytes += mapreduce.PayloadBytes(rt.job, r)
 		}
 		rec.RecordTask(metrics.Task{
 			Phase:         metrics.PhaseReduce,
@@ -639,7 +646,7 @@ func (rt *Runtime) reduceAll(rec *metrics.Recorder, roots [][]Payload) mapreduce
 func (rt *Runtime) recordContraction(rec *metrics.Recorder, p int, cost time.Duration, roots []Payload) {
 	var bytes int64
 	for _, r := range roots {
-		bytes += rt.sizes.bytes(rt.job, r)
+		bytes += mapreduce.PayloadBytes(rt.job, r)
 	}
 	rec.RecordTask(metrics.Task{
 		Phase:         metrics.PhaseContraction,
@@ -656,7 +663,7 @@ func (rt *Runtime) recordContraction(rec *metrics.Recorder, p int, cost time.Dur
 func (rt *Runtime) rootPathBytes(roots []Payload) int64 {
 	var bytes int64
 	for _, r := range roots {
-		bytes += rt.sizes.bytes(rt.job, r)
+		bytes += mapreduce.PayloadBytes(rt.job, r)
 	}
 	if rt.cfg.Mode != Append {
 		bytes *= 2
@@ -674,7 +681,14 @@ func (rt *Runtime) putPartState(p int, roots []Payload) int64 {
 	if bytes == 0 {
 		return 0
 	}
-	return rt.store.Put("part:"+strconv.Itoa(p), nil, bytes, rt.windowLo, rt.seq)
+	// The root-path state is stored as one flat payload-set blob — real
+	// bytes a failover could restore from — rather than a placeholder; the
+	// accounted size stays the root-path estimate the cost model charges.
+	var stored any
+	if blob, err := persist.EncodePayloadSet(roots); err == nil {
+		stored = blob
+	}
+	return rt.store.Put("part:"+strconv.Itoa(p), stored, bytes, rt.windowLo, rt.seq)
 }
 
 // chargeStateRead reads partition p's memoized root-path state through
@@ -840,7 +854,7 @@ func (rt *Runtime) allocTrees() {
 // tree.
 func (rt *Runtime) partitionTreeBytes(p int) int64 {
 	var total int64
-	count := func(pl Payload) { total += rt.sizes.bytes(rt.job, pl) }
+	count := func(pl Payload) { total += mapreduce.PayloadBytes(rt.job, pl) }
 	switch {
 	case rt.straw != nil:
 		rt.straw[p].ForEachPayload(count)
@@ -888,12 +902,14 @@ func (rt *Runtime) treeStats() core.Stats {
 }
 
 // spaceBytes sums all memoized state: tree payloads plus cached map
-// outputs. Sizes are served from the payload-size cache — an unchanged
-// memoized payload is measured once, not once per run — and the walk
-// doubles as the cache's liveness mark (finish prunes afterwards).
+// outputs. The walk re-measures payloads with mapreduce.PayloadBytes —
+// arithmetic over entries, no allocation — which replaced the retired
+// identity-keyed size cache (see DESIGN.md §14): the byte-shaped state
+// paths carry explicit lengths now, so live maps are only ever sized
+// here and in the per-slide root-path estimates.
 func (rt *Runtime) spaceBytes() int64 {
 	var total int64
-	count := func(p Payload) { total += rt.sizes.bytes(rt.job, p) }
+	count := func(p Payload) { total += mapreduce.PayloadBytes(rt.job, p) }
 	for _, t := range rt.coal {
 		t.ForEachPayload(count)
 	}
@@ -917,13 +933,10 @@ func (rt *Runtime) spaceBytes() int64 {
 }
 
 // finish assembles the RunResult. Callers overwrite TreeStats /
-// TreeStatsBackground with precise foreground/background deltas. The
-// whole-state walk inside spaceBytes marks every live payload in the
-// size cache; pruning afterwards drops sizes of payloads that fell out
-// of the window this run.
+// TreeStatsBackground with precise foreground/background deltas.
 func (rt *Runtime) finish(out mapreduce.Output, rec, bg *metrics.Recorder, before core.Stats) *RunResult {
 	rt.runs++
-	res := &RunResult{
+	return &RunResult{
 		Output:     out,
 		Report:     rec.Snapshot(),
 		Background: bg.Snapshot(),
@@ -931,8 +944,6 @@ func (rt *Runtime) finish(out mapreduce.Output, rec, bg *metrics.Recorder, befor
 		SpaceBytes: rt.spaceBytes(),
 		ReadTimeNs: rt.store.Stats().ReadTimeNs,
 	}
-	rt.sizes.prune()
-	return res
 }
 
 // partPayloads extracts partition p's payload from each map result.

@@ -1,0 +1,153 @@
+package sliderrt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"slider/internal/metrics"
+)
+
+// SwitchPolicyConfig configures ContractQuantileSwitchPolicy, the
+// hysteresis policy over the contract-phase latency histogram.
+type SwitchPolicyConfig struct {
+	// Quantile is the per-slide latency quantile the policy watches
+	// (0.95 when zero).
+	Quantile float64
+	// High is the pressure threshold: when the per-slide contract
+	// quantile sits at or above it for Consecutive slides, the policy
+	// asks for BackendDaba (the O(1)-per-slide structure). Required.
+	High time.Duration
+	// Low is the relief threshold: when the quantile sits at or below it
+	// for Consecutive slides, the policy asks for BackendRotating (the
+	// log-depth tree, the only Fixed-mode structure that supports split
+	// processing and parallel intra-tree combines). Defaults to High/4.
+	// The band between Low and High is the hysteresis gap: inside it the
+	// policy holds the current backend, so latency noise around a single
+	// threshold cannot make the runtime thrash.
+	Low time.Duration
+	// Consecutive is how many successive slides must cross a threshold
+	// before the policy moves (3 when zero). Slides that produce no
+	// contract samples (an idle tick) reset neither counter.
+	Consecutive int
+}
+
+func (c *SwitchPolicyConfig) normalize() error {
+	if c.High <= 0 {
+		return fmt.Errorf("sliderrt: switch policy needs a positive high threshold, got %v", c.High)
+	}
+	if c.Quantile == 0 {
+		c.Quantile = 0.95
+	}
+	if c.Quantile <= 0 || c.Quantile >= 1 {
+		return fmt.Errorf("sliderrt: switch policy quantile %v outside (0,1)", c.Quantile)
+	}
+	if c.Low == 0 {
+		c.Low = c.High / 4
+	}
+	if c.Low < 0 || c.Low >= c.High {
+		return fmt.Errorf("sliderrt: switch policy low threshold %v must be in [0, high=%v)", c.Low, c.High)
+	}
+	if c.Consecutive == 0 {
+		c.Consecutive = 3
+	}
+	if c.Consecutive < 0 {
+		return fmt.Errorf("sliderrt: switch policy needs a positive consecutive count, got %d", c.Consecutive)
+	}
+	return nil
+}
+
+// ContractQuantileSwitchPolicy builds a Config.SwitchHook that moves a
+// Fixed-mode runtime between its two backends based on observed contract
+// pressure: sustained high per-slide latency quantiles switch to the
+// DABA O(1) aggregator, sustained low quantiles switch back to the
+// rotating tree. The hook keeps the previous histogram snapshot and
+// diffs it each slide (HistogramSnapshot.Sub), so every decision is made
+// on that slide's samples alone, not the lifetime distribution.
+//
+// The returned hook carries per-runtime state; build one per Runtime
+// and pair it with a Config.Obs bundle — without Obs the contract
+// histogram is always empty and the hook never fires.
+func ContractQuantileSwitchPolicy(cfg SwitchPolicyConfig) (func(cur Backend, contract metrics.HistogramSnapshot) Backend, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	var prev metrics.HistogramSnapshot
+	hi, lo := 0, 0
+	return func(cur Backend, contract metrics.HistogramSnapshot) Backend {
+		delta := contract.Sub(prev)
+		prev = contract
+		if delta.Count <= 0 {
+			return cur // no samples this slide: hold state, hold counters
+		}
+		q := delta.Quantile(cfg.Quantile)
+		switch {
+		case q >= cfg.High:
+			hi, lo = hi+1, 0
+		case q <= cfg.Low:
+			lo, hi = lo+1, 0
+		default:
+			hi, lo = 0, 0 // hysteresis band: decay both streaks
+		}
+		if hi >= cfg.Consecutive && cur != BackendDaba {
+			hi, lo = 0, 0
+			return BackendDaba
+		}
+		if lo >= cfg.Consecutive && cur != BackendRotating {
+			hi, lo = 0, 0
+			return BackendRotating
+		}
+		return cur
+	}, nil
+}
+
+// ParseSwitchPolicy parses the daemons' -switch-policy flag syntax into
+// a ready SwitchHook:
+//
+//	pQQ:high=DUR[,low=DUR][,n=N]
+//
+// e.g. "p95:high=20ms,low=5ms,n=3" or "p99:high=1s". The leading pQQ
+// names the watched quantile (p50…p99); low defaults to high/4 and n to
+// 3. An empty string returns a nil hook (policy disabled).
+func ParseSwitchPolicy(s string) (func(cur Backend, contract metrics.HistogramSnapshot) Backend, error) {
+	if s == "" {
+		return nil, nil
+	}
+	head, rest, ok := strings.Cut(s, ":")
+	if !ok || !strings.HasPrefix(head, "p") {
+		return nil, fmt.Errorf("sliderrt: switch policy %q: want pQQ:high=DUR[,low=DUR][,n=N]", s)
+	}
+	pct, err := strconv.Atoi(head[1:])
+	if err != nil || pct <= 0 || pct >= 100 {
+		return nil, fmt.Errorf("sliderrt: switch policy %q: bad quantile %q", s, head)
+	}
+	cfg := SwitchPolicyConfig{Quantile: float64(pct) / 100}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("sliderrt: switch policy %q: bad option %q", s, kv)
+		}
+		switch key {
+		case "high", "low":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("sliderrt: switch policy %q: %v", s, err)
+			}
+			if key == "high" {
+				cfg.High = d
+			} else {
+				cfg.Low = d
+			}
+		case "n":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("sliderrt: switch policy %q: bad count %q", s, val)
+			}
+			cfg.Consecutive = n
+		default:
+			return nil, fmt.Errorf("sliderrt: switch policy %q: unknown option %q", s, key)
+		}
+	}
+	return ContractQuantileSwitchPolicy(cfg)
+}

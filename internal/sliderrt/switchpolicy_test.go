@@ -1,0 +1,189 @@
+package sliderrt
+
+import (
+	"testing"
+	"time"
+
+	"slider/internal/metrics"
+)
+
+// observeN records n copies of d and returns the cumulative snapshot.
+func observeN(h *metrics.Histogram, n int, d time.Duration) metrics.HistogramSnapshot {
+	for i := 0; i < n; i++ {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+func TestContractQuantilePolicyHysteresis(t *testing.T) {
+	hook, err := ContractQuantileSwitchPolicy(SwitchPolicyConfig{
+		High:        10 * time.Millisecond,
+		Low:         1 * time.Millisecond,
+		Consecutive: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h metrics.Histogram
+
+	// One hot slide is not enough: the streak must reach Consecutive.
+	if got := hook(BackendRotating, observeN(&h, 4, 50*time.Millisecond)); got != BackendRotating {
+		t.Fatalf("switched after one hot slide: %v", got)
+	}
+	if got := hook(BackendRotating, observeN(&h, 4, 50*time.Millisecond)); got != BackendDaba {
+		t.Fatalf("second consecutive hot slide should switch to daba, got %v", got)
+	}
+
+	// Mid-band slides hold the current backend and reset streaks. The
+	// quantile reports bucket upper bounds, so 3ms lands ≈4.1ms — inside
+	// (1ms, 10ms).
+	if got := hook(BackendDaba, observeN(&h, 4, 3*time.Millisecond)); got != BackendDaba {
+		t.Fatalf("mid-band slide moved the backend: %v", got)
+	}
+
+	// Cool slides below Low for Consecutive slides switch back. 100ns
+	// observations land in bucket 0 (≤1µs ≤ Low).
+	if got := hook(BackendDaba, observeN(&h, 4, 100*time.Nanosecond)); got != BackendDaba {
+		t.Fatalf("switched after one cool slide: %v", got)
+	}
+	if got := hook(BackendDaba, observeN(&h, 4, 100*time.Nanosecond)); got != BackendRotating {
+		t.Fatalf("second consecutive cool slide should switch to rotating, got %v", got)
+	}
+
+	// A slide with no new samples (idle tick) holds everything.
+	if got := hook(BackendRotating, h.Snapshot()); got != BackendRotating {
+		t.Fatalf("sample-free slide moved the backend: %v", got)
+	}
+}
+
+func TestContractQuantilePolicyStreakReset(t *testing.T) {
+	hook, err := ContractQuantileSwitchPolicy(SwitchPolicyConfig{
+		High:        10 * time.Millisecond,
+		Low:         1 * time.Millisecond,
+		Consecutive: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h metrics.Histogram
+	// hot, cool, hot: the opposing crossing resets the hot streak, so the
+	// second hot slide must not switch.
+	hook(BackendRotating, observeN(&h, 4, 50*time.Millisecond))
+	hook(BackendRotating, observeN(&h, 4, 100*time.Nanosecond))
+	if got := hook(BackendRotating, observeN(&h, 4, 50*time.Millisecond)); got != BackendRotating {
+		t.Fatalf("interrupted streak still switched: %v", got)
+	}
+}
+
+func TestSwitchPolicyConfigValidation(t *testing.T) {
+	if _, err := ContractQuantileSwitchPolicy(SwitchPolicyConfig{}); err == nil {
+		t.Fatal("missing high threshold accepted")
+	}
+	if _, err := ContractQuantileSwitchPolicy(SwitchPolicyConfig{High: time.Second, Low: 2 * time.Second}); err == nil {
+		t.Fatal("low ≥ high accepted")
+	}
+	if _, err := ContractQuantileSwitchPolicy(SwitchPolicyConfig{High: time.Second, Quantile: 1.5}); err == nil {
+		t.Fatal("quantile outside (0,1) accepted")
+	}
+}
+
+func TestParseSwitchPolicy(t *testing.T) {
+	hook, err := ParseSwitchPolicy("p95:high=20ms,low=5ms,n=3")
+	if err != nil || hook == nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	if hook, err := ParseSwitchPolicy(""); err != nil || hook != nil {
+		t.Fatalf("empty policy should return a nil hook (err=%v, nil=%v)", err, hook == nil)
+	}
+	for _, bad := range []string{
+		"p95",                  // no options
+		"q95:high=20ms",        // bad quantile prefix
+		"p0:high=20ms",         // quantile out of range
+		"p95:high=nope",        // bad duration
+		"p95:low=5ms",          // missing high
+		"p95:high=20ms,n=x",    // bad count
+		"p95:high=20ms,zzz=1",  // unknown option
+		"p95:high=20ms,low=1h", // low ≥ high
+	} {
+		if _, err := ParseSwitchPolicy(bad); err == nil {
+			t.Errorf("ParseSwitchPolicy(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLiveSwitchUnderPolicy drives a real Fixed-mode runtime with the
+// quantile policy wired as its SwitchHook and verifies both live
+// transitions: a floor-level High threshold sees every slide as hot and
+// moves rotating→daba; a ceiling-level Low sees every slide as cool and
+// moves daba→rotating. Outputs must stay correct across both rebuilds.
+func TestLiveSwitchUnderPolicy(t *testing.T) {
+	job := wordCountJob()
+	obs := metrics.NewSlideObs()
+	obs.Tracer.SetMode(metrics.TraceOff, 0)
+	// 1ns high: the contract quantile (≥1µs bucket bound) always crosses.
+	hot, err := ContractQuantileSwitchPolicy(SwitchPolicyConfig{High: time.Nanosecond, Consecutive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Mode: Fixed, BucketSplits: 2, WindowBuckets: 4,
+		Backend:    BackendRotating,
+		SwitchHook: hot,
+		Obs:        obs,
+		Memo:       testMemoConfig(),
+	}
+	rt, err := New(job, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := genSplits(0, 8, 4, 7)
+	next := 8
+	if _, err := rt.Initial(window); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Backend() != BackendRotating {
+		t.Fatalf("initial backend %v", rt.Backend())
+	}
+	sawDaba := false
+	for i := 0; i < 4; i++ {
+		add := genSplits(next, 2, 4, 7)
+		next += 2
+		res, err := rt.Advance(2, add)
+		if err != nil {
+			t.Fatalf("slide %d: %v", i, err)
+		}
+		window = append(window[2:], add...)
+		wantSameOutput(t, res.Output, scratch(t, job, window))
+		if rt.Backend() == BackendDaba {
+			sawDaba = true
+		}
+	}
+	if !sawDaba {
+		t.Fatal("policy never switched rotating→daba under a floor threshold")
+	}
+
+	// Swap in a cool policy: huge thresholds make every slide a Low
+	// crossing, pulling the runtime back to the rotating tree.
+	cool, err := ContractQuantileSwitchPolicy(SwitchPolicyConfig{High: 2 * time.Hour, Low: time.Hour, Consecutive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.cfg.SwitchHook = cool
+	sawRotating := false
+	for i := 0; i < 4; i++ {
+		add := genSplits(next, 2, 4, 7)
+		next += 2
+		res, err := rt.Advance(2, add)
+		if err != nil {
+			t.Fatalf("cool slide %d: %v", i, err)
+		}
+		window = append(window[2:], add...)
+		wantSameOutput(t, res.Output, scratch(t, job, window))
+		if rt.Backend() == BackendRotating {
+			sawRotating = true
+		}
+	}
+	if !sawRotating {
+		t.Fatal("policy never switched daba→rotating under a ceiling threshold")
+	}
+}

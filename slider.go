@@ -128,6 +128,24 @@ const (
 // ("auto", "daba", "rotating", ...) — the daemons' -backend flag.
 func ParseBackend(s string) (Backend, error) { return sliderrt.ParseBackend(s) }
 
+// SwitchPolicyConfig configures ContractQuantileSwitchPolicy.
+type SwitchPolicyConfig = sliderrt.SwitchPolicyConfig
+
+// ContractQuantileSwitchPolicy builds a Config.SwitchHook that moves a
+// Fixed-mode runtime between the daba and rotating backends when the
+// per-slide contract-phase latency quantile crosses its thresholds for
+// several consecutive slides (hysteresis). Pair it with Config.Obs.
+func ContractQuantileSwitchPolicy(cfg SwitchPolicyConfig) (func(cur Backend, contract HistogramSnapshot) Backend, error) {
+	return sliderrt.ContractQuantileSwitchPolicy(cfg)
+}
+
+// ParseSwitchPolicy parses the daemons' -switch-policy flag syntax
+// ("p95:high=20ms,low=5ms,n=3") into a ready Config.SwitchHook; an empty
+// string yields a nil hook (policy disabled).
+func ParseSwitchPolicy(s string) (func(cur Backend, contract HistogramSnapshot) Backend, error) {
+	return sliderrt.ParseSwitchPolicy(s)
+}
+
 // New returns a Runtime executing job under cfg.
 func New(job *Job, cfg Config) (*Runtime, error) { return sliderrt.New(job, cfg) }
 
