@@ -13,6 +13,9 @@
 //
 // -payload-json writes the gob-vs-flat payload codec head-to-head (the
 // "payload" experiment) as JSON (BENCH_payload.json).
+//
+// -ooo-json writes the finger-tree bulk-vs-sequential sweep (the
+// "outoforder" experiment) as JSON (BENCH_ooo.json).
 package main
 
 import (
@@ -41,6 +44,7 @@ func run(args []string) error {
 	jsonPath := fs.String("json", "", "also write a machine-readable JSON record to this file")
 	backendsJSON := fs.String("backends-json", "", "write the backends head-to-head sweep as JSON to this file")
 	payloadJSON := fs.String("payload-json", "", "write the payload codec head-to-head as JSON to this file")
+	oooJSON := fs.String("ooo-json", "", "write the out-of-order bulk-vs-sequential sweep as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +111,17 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(out, "payload JSON written to %s\n", *payloadJSON)
+	}
+	if *oooJSON != "" {
+		f, err := os.Create(*oooJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteOOOJSON(f, scale); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "out-of-order JSON written to %s\n", *oooJSON)
 	}
 	return nil
 }

@@ -63,7 +63,8 @@ func run(args []string) error {
 	delta := fs.Int("delta", 4, "splits per slide")
 	slides := fs.Int("slides", 5, "number of incremental slides")
 	split := fs.Bool("split", false, "enable split processing (A and F modes)")
-	backendName := fs.String("backend", "auto", "aggregation backend: auto, daba, rotating, coalescing, folding, randomized-folding, strawman")
+	backendName := fs.String("backend", "auto", "aggregation backend: auto, daba, rotating, coalescing, folding, randomized-folding, strawman, fingertree")
+	lateness := fs.Int("lateness", 0, "accepted bucket lateness for out-of-order arrivals (F mode; >0 selects the fingertree backend)")
 	workerList := fs.String("workers", "", "comma-separated slider-worker addresses for remote maps")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,7 +85,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *modeFlag)
 	}
-	cfg := slider.Config{Mode: mode, SplitProcessing: *split, Backend: backend}
+	cfg := slider.Config{Mode: mode, SplitProcessing: *split, Backend: backend, AllowedLateness: *lateness}
 	if *workerList != "" {
 		pool, err := slider.NewWorkerPool("wordcount", strings.Split(*workerList, ","))
 		if err != nil {

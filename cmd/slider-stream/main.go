@@ -57,7 +57,8 @@ func run(args []string) error {
 	window := fs.Int("window", 20, "window length in splits")
 	slide := fs.Int("slide", 5, "slide width in splits (0 = append-only)")
 	top := fs.Int("top", 10, "words to print per window")
-	backendName := fs.String("backend", "auto", "aggregation backend: auto, daba, rotating, coalescing, folding, randomized-folding, strawman")
+	backendName := fs.String("backend", "auto", "aggregation backend: auto, daba, rotating, coalescing, folding, randomized-folding, strawman, fingertree")
+	lateness := fs.Int("lateness", 0, "accepted bucket lateness for out-of-order arrivals (>0 selects the fingertree backend)")
 	switchPolicy := fs.String("switch-policy", "", "live backend-switch policy over the contract-phase latency, e.g. p95:high=20ms,low=5ms,n=3 (fixed windows only; empty = off)")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof, /debug/slides and /debug/tree on this address (empty = no server)")
 	statsEvery := fs.Int("stats", 10, "print a runtime stats line every N windows (0 = never)")
@@ -128,7 +129,7 @@ func run(args []string) error {
 		RecordsPerSplit: *split,
 		WindowSplits:    *window,
 		SlideSplits:     *slide,
-		Config:          slider.Config{Obs: so, Backend: backend, SwitchHook: switchHook},
+		Config:          slider.Config{Obs: so, Backend: backend, SwitchHook: switchHook, AllowedLateness: *lateness},
 	}, sink)
 	if err != nil {
 		return err

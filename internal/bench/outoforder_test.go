@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestOutOfOrderBulkBeatsSequential pins the bulk-operation win the
+// FiBA bulk algorithms promise: advancing the window by K buckets in
+// one bulk evict-and-insert must cost fewer combiner calls than the
+// same K buckets applied as K sequential slides, for every K ≥ 32.
+// Merge counts are deterministic, so unlike the timing columns this
+// smoke is safe on loaded CI runners.
+func TestOutOfOrderBulkBeatsSequential(t *testing.T) {
+	res, text, err := RunOutOfOrder(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", text)
+	if len(res.Cells) != len(oooKs) {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), len(oooKs))
+	}
+	for _, c := range res.Cells {
+		if c.BulkMerges <= 0 || c.SeqMerges <= 0 {
+			t.Fatalf("K=%d: degenerate merge counts (bulk %d, seq %d)", c.K, c.BulkMerges, c.SeqMerges)
+		}
+		if c.K >= 32 && c.BulkMerges >= c.SeqMerges {
+			t.Errorf("K=%d: bulk advance cost %d merges, sequential %d — bulk must win at K ≥ 32",
+				c.K, c.BulkMerges, c.SeqMerges)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func checkFingerRoot(t *testing.T, f *FingerTree[[]int], live [][]int, step int) {
+	t.Helper()
+	want := dabaOracle(live)
+	got, ok := f.Root()
+	if len(live) == 0 {
+		if ok {
+			t.Fatalf("step %d: Root ok on empty tree, got %v", step, got)
+		}
+		return
+	}
+	if !ok {
+		t.Fatalf("step %d: Root not ok with %d live buckets", step, len(live))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("step %d: Root = %v, want %v (order-preserving left fold)", step, got, want)
+	}
+}
+
+// fingerBound is the per-op combine budget asserted by the differential
+// test: c·(K + log w) with no K·log w cross term.
+func fingerBound(k, live int) int64 {
+	h := 1
+	if live > 1 {
+		h = ceilLog2(live + 2)
+	}
+	return int64(8*k + 16*h + 16)
+}
+
+// TestFingerTreeDifferentialVsLeftFold drives random interleavings of
+// slides, late inserts, bulk evictions, and bulk insertions against a
+// naive left fold with a non-commutative combiner, checking the
+// aggregate after every operation and the O(K + log w) combine bound.
+func TestFingerTreeDifferentialVsLeftFold(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7919} {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewFingerTree(concatMerge)
+		var live [][]int
+		next := 0
+		take := func() []int {
+			v := []int{next}
+			next++
+			return v
+		}
+		init := make([][]int, 4+rng.Intn(8))
+		for i := range init {
+			init[i] = take()
+		}
+		if err := f.Init(init); err != nil {
+			t.Fatalf("seed %d: Init: %v", seed, err)
+		}
+		live = append(live, init...)
+		for step := 0; step < 2000; step++ {
+			before := f.Stats().Merges
+			var k int
+			switch op := rng.Intn(4); {
+			case op == 0 && len(live) > 0: // slide
+				k = 1
+				v := take()
+				if err := f.Slide(v); err != nil {
+					t.Fatalf("seed %d step %d: Slide: %v", seed, step, err)
+				}
+				live = append(live[1:], v)
+			case op == 1: // late insert at an interior position
+				k = 1
+				pos := rng.Intn(len(live) + 1)
+				v := take()
+				if err := f.InsertAt(pos, v); err != nil {
+					t.Fatalf("seed %d step %d: InsertAt(%d): %v", seed, step, pos, err)
+				}
+				live = append(live[:pos], append([][]int{v}, live[pos:]...)...)
+			case op == 2 && len(live) > 1: // bulk evict
+				k = 1 + rng.Intn(len(live)-1)
+				if err := f.BulkEvict(k); err != nil {
+					t.Fatalf("seed %d step %d: BulkEvict(%d): %v", seed, step, k, err)
+				}
+				live = live[k:]
+			default: // bulk insert
+				k = 1 + rng.Intn(8)
+				vs := make([][]int, k)
+				for i := range vs {
+					vs[i] = take()
+				}
+				if err := f.BulkInsert(vs); err != nil {
+					t.Fatalf("seed %d step %d: BulkInsert(%d): %v", seed, step, k, err)
+				}
+				live = append(live, vs...)
+			}
+			if cost := f.Stats().Merges - before; cost > fingerBound(k, len(live)) {
+				t.Fatalf("seed %d step %d: op cost %d merges for K=%d live=%d, bound %d",
+					seed, step, cost, k, len(live), fingerBound(k, len(live)))
+			}
+			// Queries must be free: the root aggregate is cached.
+			before = f.Stats().Merges
+			checkFingerRoot(t, f, live, step)
+			if cost := f.Stats().Merges - before; cost != 0 {
+				t.Fatalf("seed %d step %d: query cost %d merges, want 0", seed, step, cost)
+			}
+			if f.Len() != len(live) {
+				t.Fatalf("seed %d step %d: Len = %d, want %d", seed, step, f.Len(), len(live))
+			}
+		}
+	}
+}
+
+// TestFingerTreeBulkEvictBeatsSequential pins the asymptotic win the
+// bulk path exists for: evicting K buckets in one BulkEvict must cost
+// no more than a root path, strictly less than K single-bucket
+// evictions once K clears the tree height.
+func TestFingerTreeBulkEvictBeatsSequential(t *testing.T) {
+	const w = 512
+	for _, k := range []int{32, 256} {
+		mk := func() *FingerTree[[]int] {
+			f := NewFingerTree(concatMerge)
+			buckets := make([][]int, w)
+			for i := range buckets {
+				buckets[i] = []int{i}
+			}
+			if err := f.Init(buckets); err != nil {
+				t.Fatal(err)
+			}
+			f.ResetStats()
+			return f
+		}
+		bulk := mk()
+		if err := bulk.BulkEvict(k); err != nil {
+			t.Fatal(err)
+		}
+		seq := mk()
+		for i := 0; i < k; i++ {
+			if err := seq.BulkEvict(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bulk.Stats().Merges >= seq.Stats().Merges {
+			t.Fatalf("K=%d: bulk evict cost %d merges, sequential %d — bulk must win",
+				k, bulk.Stats().Merges, seq.Stats().Merges)
+		}
+		if bound := fingerBound(0, w); bulk.Stats().Merges > bound {
+			t.Fatalf("K=%d: bulk evict cost %d merges, exceeds root-path bound %d",
+				k, bulk.Stats().Merges, bound)
+		}
+	}
+}
+
+// TestFingerTreeDeterministicShape: two trees fed the same operation
+// sequence fingerprint identically, and a restored tree matches a
+// freshly restored one (shape, fingerprint, and stats).
+func TestFingerTreeDeterministicShape(t *testing.T) {
+	fp := func(v []int) uint64 {
+		h := uint64(1469598103934665603)
+		for _, x := range v {
+			h = fpMix(h, uint64(x))
+		}
+		return h
+	}
+	run := func() *FingerTree[[]int] {
+		f := NewFingerTree(concatMerge)
+		init := [][]int{{0}, {1}, {2}, {3}, {4}, {5}}
+		if err := f.Init(init); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			switch i % 4 {
+			case 0:
+				if err := f.Slide([]int{100 + i}); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if err := f.InsertAt(f.Len()/2, []int{200 + i}); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				if err := f.BulkEvict(2); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if err := f.BulkInsert([][]int{{300 + i}, {400 + i}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return f
+	}
+	a, b := run(), run()
+	if a.FingerprintWith(fp) != b.FingerprintWith(fp) {
+		t.Fatal("same operation sequence produced different fingerprints")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("same operation sequence produced different stats: %+v vs %+v", a.Stats(), b.Stats())
+	}
+
+	buckets, ok := a.BucketPayloads()
+	if !ok {
+		t.Fatal("BucketPayloads not ok on live tree")
+	}
+	if err := a.Restore(buckets); err != nil {
+		t.Fatalf("in-place Restore: %v", err)
+	}
+	fresh := NewFingerTree(concatMerge)
+	if err := fresh.Restore(buckets); err != nil {
+		t.Fatalf("fresh Restore: %v", err)
+	}
+	if a.FingerprintWith(fp) != fresh.FingerprintWith(fp) {
+		t.Fatal("in-place restore fingerprint differs from fresh restore")
+	}
+	if a.Stats() != fresh.Stats() {
+		t.Fatalf("restored stats differ: %+v vs %+v", a.Stats(), fresh.Stats())
+	}
+	got, _ := a.Root()
+	want, _ := fresh.Root()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored roots differ: %v vs %v", got, want)
+	}
+}
+
+// TestFingerTreeShape sanity-checks the observability snapshot.
+func TestFingerTreeShape(t *testing.T) {
+	f := NewFingerTree(concatMerge)
+	buckets := make([][]int, 64)
+	for i := range buckets {
+		buckets[i] = []int{i}
+	}
+	if err := f.Init(buckets); err != nil {
+		t.Fatal(err)
+	}
+	s := f.Shape()
+	if s.Variant != "fingertree" {
+		t.Fatalf("Variant = %q", s.Variant)
+	}
+	if s.Live != 64 || s.Nodes != 128 {
+		t.Fatalf("Live = %d, Nodes = %d, want 64, 128", s.Live, s.Nodes)
+	}
+	// A deterministic treap over 64 nodes stays within a few multiples
+	// of log2: a degenerate chain would mean broken priorities.
+	if s.Height < 6 || s.Height > 30 {
+		t.Fatalf("Height = %d, implausible for 64 nodes", s.Height)
+	}
+}
+
+// TestFingerTreeBuggifyOffByOne: the injected bulk-evict off-by-one
+// must leave a stale oldest bucket behind — and must stay inert when
+// the mask is off.
+func TestFingerTreeBuggifyOffByOne(t *testing.T) {
+	mk := func(bug Buggify) *FingerTree[[]int] {
+		f := NewFingerTree(concatMerge)
+		f.SetBuggify(bug)
+		if err := f.Init([][]int{{0}, {1}, {2}, {3}}); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	clean := mk(BuggifyNone)
+	if err := clean.BulkEvict(2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := clean.Root(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("clean BulkEvict(2): root %v, want [2 3]", got)
+	}
+	buggy := mk(BuggifyFingerBulkEvictOffByOne)
+	if err := buggy.BulkEvict(2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := buggy.Root(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("buggy BulkEvict(2): root %v, want the off-by-one [1 2 3]", got)
+	}
+}

@@ -79,6 +79,19 @@ func (t *DabaLite[T]) Shape() TreeShape {
 	return s
 }
 
+// Shape returns the finger tree's structural snapshot: a balanced
+// search tree over the window buckets, one materialized value and one
+// cached aggregate per node. Nodes are not stratified by level (treap
+// depth varies per node), so Levels is nil.
+func (t *FingerTree[T]) Shape() TreeShape {
+	return TreeShape{
+		Variant: "fingertree",
+		Height:  t.Height(),
+		Live:    t.Len(),
+		Nodes:   t.NodeCount(),
+	}
+}
+
 // Shape returns the coalescing accumulator's structural snapshot (height
 // 0: the window collapses to at most a root and a pending payload).
 func (c *CoalescingTree[T]) Shape() TreeShape {

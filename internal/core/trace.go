@@ -20,6 +20,10 @@ const (
 	// one pairwise merge from the pre-combined payload I — a plausible
 	// "optimization" bug whose only symptom is a wrong foreground root.
 	BuggifyRotatingDropSibling Buggify = 1 << iota
+	// BuggifyFingerBulkEvictOffByOne makes FingerTree.BulkEvict(k) evict
+	// k−1 buckets when k > 1 — the classic bulk-boundary off-by-one whose
+	// only symptom is a stale oldest bucket lingering in the aggregate.
+	BuggifyFingerBulkEvictOffByOne
 )
 
 // SetBuggify installs fault-injection points on a rotating tree (for the
@@ -114,6 +118,30 @@ func (t *DabaLite[T]) FingerprintWith(fp func(T) uint64) uint64 {
 		h = fpMix(h, fp(t.raw[t.slot(i)]))
 	}
 	return h
+}
+
+// FingerprintWith hashes the finger tree's full treap structure — node
+// priorities, bucket payloads, and cached aggregates in a fixed
+// depth-first order. Priorities come from the deterministic counter
+// stream, so two trees that executed the same operation sequence — at
+// any parallelism — fingerprint identically, and a restored tree
+// matches a freshly restored one.
+func (t *FingerTree[T]) FingerprintWith(fp func(T) uint64) uint64 {
+	h := uint64(0x6c62272e07bb0148)
+	h = fpMix(h, t.ctr)
+	var walk func(n *tnode[T]) uint64
+	walk = func(n *tnode[T]) uint64 {
+		if n == nil {
+			return 0x555555
+		}
+		nh := fpMix(0x1000193, n.prio)
+		nh = fpMix(nh, fp(n.val))
+		nh = fpMix(nh, fp(n.agg))
+		nh = fpMix(nh, walk(n.left))
+		nh = fpMix(nh, walk(n.right))
+		return nh
+	}
+	return fpMix(h, walk(t.root))
 }
 
 // FingerprintWith hashes the coalescing tree's root and pending payloads.

@@ -72,6 +72,21 @@ type treeDriver interface {
 	restore(snap any) error
 }
 
+// oooTreeDriver extends treeDriver with the out-of-order operations.
+// Only kinds whose structure supports them (the finger tree) implement
+// it; the harness skips out-of-order ops for everything else, the same
+// way the tree layer skips memo- and worker-layer ops.
+type oooTreeDriver interface {
+	treeDriver
+	// lateInsert lands one new bucket at window position pos (0 =
+	// oldest, live = newest).
+	lateInsert(pos int, id uint64) error
+	// bulkEvict drops the k oldest buckets in one bulk operation.
+	bulkEvict(k int) error
+	// bulkInsert appends the ids as new buckets in one bulk operation.
+	bulkInsert(ids []uint64) error
+}
+
 // newTreeDriver builds the driver for a kind at the given intra-tree
 // parallelism, with optional fault injection.
 func newTreeDriver(kind Kind, par int, bug core.Buggify) treeDriver {
@@ -88,6 +103,8 @@ func newTreeDriver(kind Kind, par int, bug core.Buggify) treeDriver {
 		return &strawDriver{par: par}
 	case Daba:
 		return &dabaDriver{}
+	case FingerTree:
+		return &fingerDriver{bug: bug}
 	default:
 		panic(fmt.Sprintf("sim: unknown kind %v", kind))
 	}
@@ -316,6 +333,63 @@ func (d *dabaDriver) restore(snap any) error {
 		d.t = core.NewDaba(pmerge, s.n)
 	}
 	return d.t.Restore(s.buckets)
+}
+
+// --- finger tree -------------------------------------------------------
+
+// fingerSnap is a finger-tree checkpoint: the raw bucket payloads in
+// window order (the deterministic priority stream rebuilds the same
+// shape on restore, so nothing else needs persisting).
+type fingerSnap struct {
+	buckets []pay
+}
+
+type fingerDriver struct {
+	t   *core.FingerTree[pay]
+	bug core.Buggify
+}
+
+func (d *fingerDriver) newTree() *core.FingerTree[pay] {
+	t := core.NewFingerTree(pmerge)
+	t.SetBuggify(d.bug)
+	return t
+}
+
+func (d *fingerDriver) init(ids []uint64) error {
+	d.t = d.newTree()
+	return d.t.Init(singletons(ids))
+}
+
+func (d *fingerDriver) slide(drop int, ids []uint64) error {
+	if drop != len(ids) {
+		return fmt.Errorf("sim: finger slide needs drop == add (got %d, %d)", drop, len(ids))
+	}
+	for _, b := range singletons(ids) {
+		if err := d.t.Slide(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *fingerDriver) lateInsert(pos int, id uint64) error { return d.t.InsertAt(pos, pay{id}) }
+func (d *fingerDriver) bulkEvict(k int) error               { return d.t.BulkEvict(k) }
+func (d *fingerDriver) bulkInsert(ids []uint64) error       { return d.t.BulkInsert(singletons(ids)) }
+
+func (d *fingerDriver) root() (pay, bool)   { return d.t.Root() }
+func (d *fingerDriver) stats() core.Stats   { return d.t.Stats() }
+func (d *fingerDriver) fingerprint() uint64 { return d.t.FingerprintWith(pfp) }
+
+func (d *fingerDriver) checkpoint() any {
+	buckets, _ := d.t.BucketPayloads()
+	return fingerSnap{buckets: buckets}
+}
+
+func (d *fingerDriver) restore(snap any) error {
+	if d.t == nil {
+		d.t = d.newTree()
+	}
+	return d.t.Restore(snap.(fingerSnap).buckets)
 }
 
 // --- coalescing --------------------------------------------------------

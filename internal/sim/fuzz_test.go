@@ -42,6 +42,23 @@ func FuzzRotatingSplit(f *testing.F) {
 	})
 }
 
+// FuzzFingerTreeOutOfOrder drives random interleavings of late appends,
+// bulk evictions, and bulk insertions through the finger tree against
+// the non-commutative left-fold oracle: payload concatenation preserves
+// arrival order, so any misplaced late record or off-by-one bulk
+// boundary shows up as a sequence mismatch, and every bulk op is held
+// to the no-log-factor c·(K + log w) combine budget.
+func FuzzFingerTreeOutOfOrder(f *testing.F) {
+	f.Add(uint64(1), uint16(40))
+	f.Add(uint64(0xdecaf), uint16(90))
+	f.Fuzz(func(t *testing.T, seed uint64, steps uint16) {
+		n := int(steps)%90 + 1
+		if err := Run(GenerateOutOfOrder(FingerTree, seed, n), Options{Pars: []int{1, 4}}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // FuzzKMergeVsPairwise checks MergeOrderedK-style K-way folds against the
 // reference pairwise fold: for any payload sequence (including ones long
 // enough to trigger leaf batching) the K-way result must be the exact

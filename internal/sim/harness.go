@@ -178,6 +178,82 @@ func runTree(tr Trace, opt Options) error {
 			if err := checkStep(tr, step, drivers, pars, window); err != nil {
 				return err
 			}
+		case OpLateAppend:
+			if !tr.Kind.outOfOrder() {
+				break
+			}
+			late := clampLateness(op.Pos, len(window))
+			pos := len(window) - late
+			id := takeIDs(1)[0]
+			for _, d := range drivers {
+				if err := d.(oooTreeDriver).lateInsert(pos, id); err != nil {
+					return fail(step, "late-append", "pos=%d (lateness %d): %v", pos, late, err)
+				}
+			}
+			nw := make([]uint64, 0, len(window)+1)
+			nw = append(nw, window[:pos]...)
+			nw = append(nw, id)
+			nw = append(nw, window[pos:]...)
+			window = nw
+			if err := checkStep(tr, step, drivers, pars, window); err != nil {
+				return err
+			}
+			if !opt.NoBounds {
+				merges := drivers[0].stats().Merges - prevStats.Merges
+				if limit := bulkMergeBound(1, len(window)); merges > limit {
+					return fail(step, "bulk-bound",
+						"late append at window=%d performed %d merges, bound %d", len(window), merges, limit)
+				}
+			}
+		case OpBulkEvict:
+			if !tr.Kind.outOfOrder() {
+				break
+			}
+			k := clampBulkEvict(op.Drop, len(window))
+			if k == 0 {
+				break
+			}
+			for _, d := range drivers {
+				if err := d.(oooTreeDriver).bulkEvict(k); err != nil {
+					return fail(step, "bulk-evict", "k=%d: %v", k, err)
+				}
+			}
+			window = window[k:]
+			if err := checkStep(tr, step, drivers, pars, window); err != nil {
+				return err
+			}
+			if !opt.NoBounds {
+				merges := drivers[0].stats().Merges - prevStats.Merges
+				if limit := bulkMergeBound(k, len(window)); merges > limit {
+					return fail(step, "bulk-bound",
+						"bulk evict k=%d window=%d performed %d merges, bound %d", k, len(window), merges, limit)
+				}
+			}
+		case OpBulkInsert:
+			if !tr.Kind.outOfOrder() {
+				break
+			}
+			k := clampBulkInsert(op.Add, len(window))
+			if k == 0 {
+				break
+			}
+			ids := takeIDs(k)
+			for _, d := range drivers {
+				if err := d.(oooTreeDriver).bulkInsert(ids); err != nil {
+					return fail(step, "bulk-insert", "k=%d: %v", k, err)
+				}
+			}
+			window = append(window, ids...)
+			if err := checkStep(tr, step, drivers, pars, window); err != nil {
+				return err
+			}
+			if !opt.NoBounds {
+				merges := drivers[0].stats().Merges - prevStats.Merges
+				if limit := bulkMergeBound(k, len(window)); merges > limit {
+					return fail(step, "bulk-bound",
+						"bulk insert k=%d window=%d performed %d merges, bound %d", k, len(window), merges, limit)
+				}
+			}
 		case OpFailNode, OpRecoverNode, OpGCPressure,
 			OpWorkerCrash, OpWorkerRestart, OpWorkerDelay, OpWorkerDrop, OpWorkerCorrupt:
 			// Memo- and dist-layer events; nothing to do at the tree layer.
@@ -217,6 +293,48 @@ func clampSlide(kind Kind, op Op, live int) (drop, add int) {
 		}
 	}
 	return drop, add
+}
+
+// clampLateness normalizes a late-append's lateness against the live
+// window (shrunken traces may have lost the ops that grew it) and the
+// simLateness watermark budget the runtime layer enforces.
+func clampLateness(pos, live int) int {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > live {
+		pos = live
+	}
+	if pos > simLateness {
+		pos = simLateness
+	}
+	return pos
+}
+
+// clampBulkEvict keeps a bulk eviction inside the live window, always
+// leaving at least one bucket; 0 means skip the op.
+func clampBulkEvict(k, live int) int {
+	if k > live-1 {
+		k = live - 1
+	}
+	if k < 1 {
+		return 0
+	}
+	return k
+}
+
+// clampBulkInsert caps a bulk insertion at the window cap; 0 means skip.
+func clampBulkInsert(k, live int) int {
+	if k < 1 {
+		k = 1
+	}
+	if live+k > maxWindow {
+		k = maxWindow - live
+	}
+	if k < 1 {
+		return 0
+	}
+	return k
 }
 
 // checkStep verifies the root against the from-scratch oracle and the
@@ -316,6 +434,11 @@ func mergeBound(kind Kind, drop, add, liveAfter int) int64 {
 		// Worst-case constant per bucket: ≤5 combines per single-bucket
 		// slide plus one root query — no log factor at all.
 		return 8 * (delta + 1)
+	case FingerTree:
+		// One treap root path per in-order evict/insert pair: the driver
+		// slides bucket-by-bucket, so delta single O(log w) slides. (The
+		// bulk ops get the tighter no-log-factor bulkMergeBound instead.)
+		return 8*(delta+1)*h + 32
 	case Randomized:
 		// Expected O(log) per changed path; generous constant for the
 		// probabilistic grouping.
@@ -331,6 +454,15 @@ func mergeBound(kind Kind, drop, add, liveAfter int) int64 {
 	default: // Strawman
 		return 1 << 62
 	}
+}
+
+// bulkMergeBound is the budget for one out-of-order bulk operation over
+// K buckets: c·(K + log w) combines with NO K·log w cross term — K may
+// not pick up a log factor, which is the whole point of the FiBA bulk
+// algorithms (one split for a bulk evict, one O(K) build plus one join
+// for a bulk insert, one root path for a late append).
+func bulkMergeBound(k, liveAfter int) int64 {
+	return int64(8*k + 32*ceilLog2(liveAfter+2) + 64)
 }
 
 // ceilLog2 mirrors core's helper (kept local; core does not export it).

@@ -115,6 +115,15 @@ func runtimeConfig(tr Trace, par int, gcAll *bool) (sliderrt.Config, error) {
 		cfg.Backend = sliderrt.BackendDaba
 		cfg.BucketSplits = runtimeBucketSplits
 		cfg.WindowBuckets = tr.Initial
+	case FingerTree:
+		cfg.Mode = sliderrt.Fixed
+		cfg.BucketSplits = runtimeBucketSplits
+		cfg.WindowBuckets = tr.Initial
+		// AllowedLateness > 0 routes backend auto-selection onto the
+		// finger tree (the sim deliberately leaves Backend at Auto to
+		// cover that routing); simLateness matches the trace generator's
+		// deepest OpLateAppend.
+		cfg.AllowedLateness = simLateness
 	case Coalescing, CoalescingSplit:
 		cfg.Mode = sliderrt.Append
 		cfg.SplitProcessing = tr.Kind == CoalescingSplit
@@ -198,6 +207,26 @@ func runRuntime(tr Trace, opt Options) error {
 
 	initial := takeSplits(tr.Initial * splitWidth)
 	window = initial
+
+	// sizes mirrors the finger-tree backend's bucket ledger: splits per
+	// live bucket, oldest first. Late buckets are one split wide, so the
+	// window's flat split count is not simply buckets·splitWidth for the
+	// finger-tree kind.
+	var sizes []int
+	if tr.Kind == FingerTree {
+		sizes = make([]int, tr.Initial)
+		for i := range sizes {
+			sizes[i] = splitWidth
+		}
+	}
+	// splitsOf sums the flat split width of the first k ledger buckets.
+	splitsOf := func(k int) int {
+		n := 0
+		for _, sz := range sizes[:k] {
+			n += sz
+		}
+		return n
+	}
 	results := make([]*sliderrt.RunResult, len(reps))
 	for i, rep := range reps {
 		res, err := rep.rt.Initial(initial)
@@ -213,11 +242,20 @@ func runRuntime(tr Trace, opt Options) error {
 	for step, op := range tr.Ops {
 		switch op.Kind {
 		case OpSlide:
-			drop, add := clampSlide(tr.Kind, op, len(window)/splitWidth)
+			liveUnits := len(window) / splitWidth
+			if tr.Kind == FingerTree {
+				liveUnits = len(sizes)
+			}
+			drop, add := clampSlide(tr.Kind, op, liveUnits)
 			if drop == 0 && add == 0 {
 				continue
 			}
 			dropSplits, addSplits := drop*splitWidth, add*splitWidth
+			if tr.Kind == FingerTree {
+				// Ledger buckets vary in width, so the drop is the exact
+				// flat width of the k oldest buckets.
+				dropSplits = splitsOf(drop)
+			}
 			adds := takeSplits(addSplits)
 			for i, rep := range reps {
 				res, err := rep.rt.Advance(dropSplits, adds)
@@ -228,11 +266,20 @@ func runRuntime(tr Trace, opt Options) error {
 				*rep.gcAll = false // GC pressure applies to one slide
 			}
 			window = append(window[dropSplits:], adds...)
+			if tr.Kind == FingerTree {
+				sizes = append(sizes[:0], sizes[drop:]...)
+				for i := 0; i < add; i++ {
+					sizes = append(sizes, splitWidth)
+				}
+			}
 			if err := checkRuntimeStep(tr, step, job, pars, results, window); err != nil {
 				return err
 			}
 			if !opt.NoBounds && tr.Kind != Strawman {
 				liveAfter := len(window) / splitWidth
+				if tr.Kind == FingerTree {
+					liveAfter = len(sizes)
+				}
 				merges := results[0].TreeStats.Merges + results[0].TreeStatsBackground.Merges
 				// TreeStats aggregates one contraction tree per reduce
 				// partition, so the per-tree bound scales by Partitions.
@@ -277,6 +324,106 @@ func runRuntime(tr Trace, opt Options) error {
 					return fail(step, "par-fingerprint",
 						"par=%d checkpoint fingerprint %#x != par=%d fingerprint %#x",
 						pars[i], fps[i], pars[0], fps[0])
+				}
+			}
+		case OpLateAppend:
+			if tr.Kind != FingerTree {
+				break
+			}
+			late := clampLateness(op.Pos, len(sizes))
+			pos := len(sizes) - late
+			adds := takeSplits(1) // one late record: a one-split bucket
+			for i, rep := range reps {
+				res, err := rep.rt.AdvanceLate(late, adds)
+				if err != nil {
+					return fail(step, "advance-late", "par=%d lateness=%d: %v", pars[i], late, err)
+				}
+				results[i] = res
+				*rep.gcAll = false
+			}
+			flat := splitsOf(pos)
+			nw := make([]mapreduce.Split, 0, len(window)+1)
+			nw = append(nw, window[:flat]...)
+			nw = append(nw, adds...)
+			nw = append(nw, window[flat:]...)
+			window = nw
+			sizes = append(sizes, 0)
+			copy(sizes[pos+1:], sizes[pos:])
+			sizes[pos] = 1
+			if err := checkRuntimeStep(tr, step, job, pars, results, window); err != nil {
+				return err
+			}
+			if !opt.NoBounds {
+				merges := results[0].TreeStats.Merges + results[0].TreeStatsBackground.Merges
+				limit := int64(job.Partitions) * bulkMergeBound(1, len(sizes))
+				if merges > limit {
+					return fail(step, "bulk-bound",
+						"late append at %d buckets performed %d merges, bound %d", len(sizes), merges, limit)
+				}
+			}
+		case OpBulkEvict:
+			if tr.Kind != FingerTree {
+				break
+			}
+			k := clampBulkEvict(op.Drop, len(sizes))
+			if k == 0 {
+				break
+			}
+			dropSplits := splitsOf(k)
+			for i, rep := range reps {
+				res, err := rep.rt.Advance(dropSplits, nil)
+				if err != nil {
+					return fail(step, "bulk-evict", "par=%d k=%d (drop %d splits): %v", pars[i], k, dropSplits, err)
+				}
+				results[i] = res
+				*rep.gcAll = false
+			}
+			window = window[dropSplits:]
+			sizes = append(sizes[:0], sizes[k:]...)
+			if err := checkRuntimeStep(tr, step, job, pars, results, window); err != nil {
+				return err
+			}
+			if !opt.NoBounds {
+				merges := results[0].TreeStats.Merges + results[0].TreeStatsBackground.Merges
+				limit := int64(job.Partitions) * bulkMergeBound(k, len(sizes))
+				if merges > limit {
+					return fail(step, "bulk-bound",
+						"bulk evict k=%d at %d buckets performed %d merges, bound %d", k, len(sizes), merges, limit)
+				}
+			}
+		case OpBulkInsert:
+			if tr.Kind != FingerTree {
+				break
+			}
+			k := clampBulkInsert(op.Add, len(sizes))
+			if k == 0 {
+				break
+			}
+			adds := takeSplits(k * splitWidth)
+			for i, rep := range reps {
+				res, err := rep.rt.Advance(0, adds)
+				if err != nil {
+					return fail(step, "bulk-insert", "par=%d k=%d: %v", pars[i], k, err)
+				}
+				results[i] = res
+				*rep.gcAll = false
+			}
+			window = append(window, adds...)
+			for i := 0; i < k; i++ {
+				sizes = append(sizes, splitWidth)
+			}
+			if err := checkRuntimeStep(tr, step, job, pars, results, window); err != nil {
+				return err
+			}
+			if !opt.NoBounds {
+				merges := results[0].TreeStats.Merges + results[0].TreeStatsBackground.Merges
+				// K buckets fold K·w split payloads before the O(K + log w)
+				// treap build-and-join, so the linear term scales by the
+				// bucket width — still no K·log w cross term.
+				limit := int64(job.Partitions) * bulkMergeBound(k*splitWidth, len(sizes))
+				if merges > limit {
+					return fail(step, "bulk-bound",
+						"bulk insert k=%d at %d buckets performed %d merges, bound %d", k, len(sizes), merges, limit)
 				}
 			}
 		case OpFailNode:

@@ -63,11 +63,12 @@ func Shrink(tr Trace, opt Options, maxEvals int) Trace {
 		tr = cand
 	}
 
-	// Phase 3: shrink op magnitudes (Drop/Add toward 0, Node toward 0).
+	// Phase 3: shrink op magnitudes (Drop/Add/Node/Pos toward 0).
 	for i := range tr.Ops {
 		tr = shrinkOpField(tr, i, fails, func(op *Op, v int) { op.Drop = v }, tr.Ops[i].Drop)
 		tr = shrinkOpField(tr, i, fails, func(op *Op, v int) { op.Add = v }, tr.Ops[i].Add)
 		tr = shrinkOpField(tr, i, fails, func(op *Op, v int) { op.Node = v }, tr.Ops[i].Node)
+		tr = shrinkOpField(tr, i, fails, func(op *Op, v int) { op.Pos = v }, tr.Ops[i].Pos)
 	}
 	return tr
 }

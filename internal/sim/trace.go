@@ -22,6 +22,7 @@ const (
 	CoalescingSplit
 	Strawman
 	Daba
+	FingerTree
 )
 
 // String returns the Go identifier of the kind (used by FormatRepro).
@@ -43,14 +44,25 @@ func (k Kind) String() string {
 		return "Strawman"
 	case Daba:
 		return "Daba"
+	case FingerTree:
+		return "FingerTree"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // fixedWidth reports whether the kind slides in fixed-width bucket units
-// (rotating trees and the DABA queue).
-func (k Kind) fixedWidth() bool { return k == Rotating || k == RotatingSplit || k == Daba }
+// (rotating trees, the DABA queue, and the finger tree — though the
+// finger tree's window additionally drifts under out-of-order ops).
+func (k Kind) fixedWidth() bool {
+	return k == Rotating || k == RotatingSplit || k == Daba || k == FingerTree
+}
+
+// outOfOrder reports whether the kind supports the out-of-order
+// operations (late appends, bulk evictions, bulk insertions). Only the
+// finger tree does; every other kind skips those ops, which keeps a
+// single trace replayable across the whole family.
+func (k Kind) outOfOrder() bool { return k == FingerTree }
 
 // reorders reports whether the kind's root may permute bucket age relative
 // to window order (rotating trees, whose merge must therefore be
@@ -63,7 +75,7 @@ func (k Kind) appendOnly() bool { return k == Coalescing || k == CoalescingSplit
 
 // Kinds lists every trace kind (the full tree family).
 func Kinds() []Kind {
-	return []Kind{Folding, Randomized, Rotating, RotatingSplit, Coalescing, CoalescingSplit, Strawman, Daba}
+	return []Kind{Folding, Randomized, Rotating, RotatingSplit, Coalescing, CoalescingSplit, Strawman, Daba, FingerTree}
 }
 
 // OpKind tags one trace operation.
@@ -107,6 +119,16 @@ const (
 	// response; the pool's checksummed codec must catch it and re-execute
 	// (runtime layer with Options.DistFaults).
 	OpWorkerCorrupt
+	// OpLateAppend lands one new bucket Pos buckets behind the newest
+	// live bucket (Pos 0 appends at the window's edge) — the out-of-order
+	// arrival path. Kinds without out-of-order support skip it.
+	OpLateAppend
+	// OpBulkEvict drops the Drop oldest buckets in one bulk eviction
+	// (out-of-order kinds only).
+	OpBulkEvict
+	// OpBulkInsert appends Add new buckets in one bulk insertion
+	// (out-of-order kinds only).
+	OpBulkInsert
 )
 
 // String returns the Go identifier of the op kind (used by FormatRepro).
@@ -132,6 +154,12 @@ func (k OpKind) String() string {
 		return "OpWorkerDrop"
 	case OpWorkerCorrupt:
 		return "OpWorkerCorrupt"
+	case OpLateAppend:
+		return "OpLateAppend"
+	case OpBulkEvict:
+		return "OpBulkEvict"
+	case OpBulkInsert:
+		return "OpBulkInsert"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -145,6 +173,9 @@ type Op struct {
 	Drop, Add int
 	// Node is the memo node of an OpFailNode / OpRecoverNode.
 	Node int
+	// Pos is an OpLateAppend's lateness in buckets behind the newest
+	// live bucket (0 = the window's newest edge).
+	Pos int
 }
 
 // Trace is a deterministic window schedule: everything a run does is a
@@ -158,11 +189,14 @@ type Trace struct {
 	// Chaos marks a GenerateChaos trace, so ReplayLine names the right
 	// generator.
 	Chaos bool
+	// OutOfOrder marks a GenerateOutOfOrder trace (ReplayLine naming,
+	// like Chaos).
+	OutOfOrder bool
 }
 
 // String summarizes a trace for log lines.
 func (tr Trace) String() string {
-	var slides, cps, fails, gcs, chaos int
+	var slides, cps, fails, gcs, chaos, ooo int
 	for _, op := range tr.Ops {
 		switch op.Kind {
 		case OpSlide:
@@ -175,10 +209,12 @@ func (tr Trace) String() string {
 			gcs++
 		case OpWorkerCrash, OpWorkerRestart, OpWorkerDelay, OpWorkerDrop, OpWorkerCorrupt:
 			chaos++
+		case OpLateAppend, OpBulkEvict, OpBulkInsert:
+			ooo++
 		}
 	}
-	return fmt.Sprintf("sim.Trace{Kind: %s, Seed: %#x, Initial: %d, Ops: %d (%d slides, %d checkpoints, %d fail/recover, %d gc, %d worker-faults)}",
-		tr.Kind, tr.Seed, tr.Initial, len(tr.Ops), slides, cps, fails, gcs, chaos)
+	return fmt.Sprintf("sim.Trace{Kind: %s, Seed: %#x, Initial: %d, Ops: %d (%d slides, %d checkpoints, %d fail/recover, %d gc, %d worker-faults, %d ooo)}",
+		tr.Kind, tr.Seed, tr.Initial, len(tr.Ops), slides, cps, fails, gcs, chaos, ooo)
 }
 
 // maxWindow caps the model window so wild growth stays cheap enough to
@@ -192,6 +228,11 @@ const simNodes = 4
 // chaosWorkers is the dist worker count chaos traces run against; worker
 // fault ops target workers in [0, chaosWorkers).
 const chaosWorkers = 3
+
+// simLateness is the deepest lateness (in buckets) out-of-order traces
+// draw; the runtime layer configures Config.AllowedLateness to match, so
+// every generated OpLateAppend is inside the watermark budget.
+const simLateness = 6
 
 // Generate builds a randomized trace for the kind: a seeded mix of
 // appends, variable-width slides, wild width fluctuation, checkpoint /
@@ -326,6 +367,87 @@ func GenerateChaos(kind Kind, seed uint64, steps int) Trace {
 	return tr
 }
 
+// GenerateOutOfOrder builds a randomized trace like Generate with
+// out-of-order window operations mixed in: late appends at a bounded
+// lateness, bulk evictions of many oldest buckets at once, and bulk
+// insertions of many new ones. It is a separate generator so Generate's
+// output stays byte-identical for existing seeds. For kinds without
+// out-of-order support the ooo draws degrade to ordinary slides, so the
+// trace stays legal for the whole family; only the finger-tree kind
+// actually exercises the new operations.
+func GenerateOutOfOrder(kind Kind, seed uint64, steps int) Trace {
+	rng := rand.New(rand.NewSource(int64(seed*0x9e3779b97f4a7c15 + uint64(kind) + 0x1a7e0)))
+	tr := Trace{Kind: kind, Seed: seed, OutOfOrder: true}
+	switch {
+	case kind.fixedWidth():
+		tr.Initial = 2 + rng.Intn(11)
+	case kind.appendOnly():
+		tr.Initial = 1 + rng.Intn(6)
+	default:
+		tr.Initial = 1 + rng.Intn(24)
+	}
+	live := tr.Initial
+	for len(tr.Ops) < steps {
+		r := rng.Intn(100)
+		switch {
+		case r < 40:
+			tr.Ops = append(tr.Ops, genSlide(kind, rng, &live))
+		case r < 55:
+			tr.Ops = append(tr.Ops, genOutOfOrder(kind, OpLateAppend, rng, &live))
+		case r < 65:
+			tr.Ops = append(tr.Ops, genOutOfOrder(kind, OpBulkEvict, rng, &live))
+		case r < 75:
+			tr.Ops = append(tr.Ops, genOutOfOrder(kind, OpBulkInsert, rng, &live))
+		case r < 85:
+			tr.Ops = append(tr.Ops, Op{Kind: OpCheckpoint})
+		case r < 90:
+			tr.Ops = append(tr.Ops, Op{Kind: OpFailNode, Node: rng.Intn(simNodes)})
+		case r < 95:
+			tr.Ops = append(tr.Ops, Op{Kind: OpRecoverNode, Node: rng.Intn(simNodes)})
+		default:
+			tr.Ops = append(tr.Ops, Op{Kind: OpGCPressure})
+		}
+	}
+	return tr
+}
+
+// genOutOfOrder draws one legal out-of-order op, tracking the live
+// bucket count: late appends stay within simLateness, bulk evictions
+// always leave at least one bucket, bulk insertions respect the window
+// cap. Kinds without out-of-order support get a plain slide instead.
+func genOutOfOrder(kind Kind, op OpKind, rng *rand.Rand, live *int) Op {
+	if !kind.outOfOrder() {
+		return genSlide(kind, rng, live)
+	}
+	switch op {
+	case OpLateAppend:
+		deepest := *live
+		if deepest > simLateness {
+			deepest = simLateness
+		}
+		*live++
+		return Op{Kind: OpLateAppend, Pos: rng.Intn(deepest + 1)}
+	case OpBulkEvict:
+		if *live < 2 {
+			return genSlide(kind, rng, live)
+		}
+		max := *live - 1
+		if max > 48 {
+			max = 48
+		}
+		k := 1 + rng.Intn(max)
+		*live -= k
+		return Op{Kind: OpBulkEvict, Drop: k}
+	default: // OpBulkInsert
+		k := 1 + rng.Intn(12)
+		if *live+k > maxWindow {
+			k = 1
+		}
+		*live += k
+		return Op{Kind: OpBulkInsert, Add: k}
+	}
+}
+
 // Replay regenerates the exact trace a CI failure log names: paste the
 // kind, seed, and step count from the "replay:" line.
 func Replay(kind Kind, seed uint64, steps int) Trace { return Generate(kind, seed, steps) }
@@ -333,11 +455,19 @@ func Replay(kind Kind, seed uint64, steps int) Trace { return Generate(kind, see
 // ReplayChaos is Replay for GenerateChaos traces.
 func ReplayChaos(kind Kind, seed uint64, steps int) Trace { return GenerateChaos(kind, seed, steps) }
 
+// ReplayOutOfOrder is Replay for GenerateOutOfOrder traces.
+func ReplayOutOfOrder(kind Kind, seed uint64, steps int) Trace {
+	return GenerateOutOfOrder(kind, seed, steps)
+}
+
 // ReplayLine renders the one-line replay recipe printed on failures.
 func ReplayLine(tr Trace) string {
 	fn := "Replay"
-	if tr.Chaos {
+	switch {
+	case tr.Chaos:
 		fn = "ReplayChaos"
+	case tr.OutOfOrder:
+		fn = "ReplayOutOfOrder"
 	}
 	return fmt.Sprintf("replay: sim.Run(sim.%s(sim.%s, %#x, %d), opts)", fn, tr.Kind, tr.Seed, len(tr.Ops))
 }
@@ -354,6 +484,9 @@ func opLiteral(op Op) string {
 	}
 	if op.Node != 0 {
 		fmt.Fprintf(&b, ", Node: %d", op.Node)
+	}
+	if op.Pos != 0 {
+		fmt.Fprintf(&b, ", Pos: %d", op.Pos)
 	}
 	b.WriteString("}")
 	return b.String()

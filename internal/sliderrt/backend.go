@@ -18,6 +18,8 @@ import (
 //
 //	Mode      SplitProcessing  Commutative  → backend
 //	Fixed     no               any          → BackendDaba (O(1)/slide)
+//	Fixed + AllowedLateness>0: any          → BackendFingerTree
+//	                                          (O(K + log w) bulk/late ops)
 //	Fixed     yes              yes          → BackendRotating (O(log N))
 //	Fixed     yes              no           → error
 //	Append    —                any          → BackendCoalescing
@@ -31,7 +33,10 @@ import (
 // never be routed to the rotating tree (its circular buckets re-order
 // window age relative to tree position), and the DABA backend — strictly
 // in-order — never requires commutativity but cannot serve split
-// processing or variable-width windows.
+// processing or variable-width windows. Out-of-order jobs (a positive
+// Config.AllowedLateness) require the finger tree: it is the only
+// backend whose window is a searchable structure a late record can land
+// in the middle of, so any other explicit backend is ErrBadBackend.
 type Backend int
 
 // Backends.
@@ -53,6 +58,14 @@ const (
 	BackendRandomizedFolding
 	// BackendStrawman is the memoization-only baseline of §2.
 	BackendStrawman
+	// BackendFingerTree is the FiBA-style finger-tree aggregator for
+	// out-of-order fixed-width windows: late records land at their true
+	// window position (InsertAt) and K-bucket evictions/insertions cost
+	// O(K + log w) combines (BulkEvict/BulkInsert). The only backend
+	// serving jobs with Config.AllowedLateness > 0; also legal as an
+	// explicit choice for in-order Fixed jobs. Appended after the
+	// original six so persisted checkpoint backend values stay stable.
+	BackendFingerTree
 )
 
 // String names the backend as it appears in flags and logs.
@@ -72,6 +85,8 @@ func (b Backend) String() string {
 		return "randomized-folding"
 	case BackendStrawman:
 		return "strawman"
+	case BackendFingerTree:
+		return "fingertree"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
 	}
@@ -81,7 +96,8 @@ func (b Backend) String() string {
 // -backend flag).
 func ParseBackend(s string) (Backend, error) {
 	for _, b := range []Backend{BackendAuto, BackendDaba, BackendRotating,
-		BackendCoalescing, BackendFolding, BackendRandomizedFolding, BackendStrawman} {
+		BackendCoalescing, BackendFolding, BackendRandomizedFolding, BackendStrawman,
+		BackendFingerTree} {
 		if s == b.String() {
 			return b, nil
 		}
@@ -127,6 +143,18 @@ func (c *Config) resolveBackend(job *mapreduce.Job) (Backend, error) {
 		}
 		return 0, fmt.Errorf("%w: Variable mode requires a folding backend, not %v", ErrBadBackend, c.Backend)
 	case Fixed:
+		if c.AllowedLateness > 0 {
+			// Out-of-order job: late records must land mid-window, which
+			// only the finger tree's searchable structure supports.
+			if c.SplitProcessing {
+				return 0, fmt.Errorf("%w: split processing is a rotating-tree feature; out-of-order windows use the finger tree", ErrBadBackend)
+			}
+			switch c.Backend {
+			case BackendAuto, BackendFingerTree:
+				return BackendFingerTree, nil
+			}
+			return 0, fmt.Errorf("%w: out-of-order windows (AllowedLateness=%d) require the finger-tree backend, not %v", ErrBadBackend, c.AllowedLateness, c.Backend)
+		}
 		switch c.Backend {
 		case BackendAuto:
 			if c.SplitProcessing {
@@ -151,8 +179,16 @@ func (c *Config) resolveBackend(job *mapreduce.Job) (Backend, error) {
 				return 0, fmt.Errorf("%w: job %q: rotating trees require a commutative combiner", ErrBadBackend, job.Name)
 			}
 			return BackendRotating, nil
+		case BackendFingerTree:
+			// Legal for in-order fixed windows too: order-preserving, so an
+			// associative combiner suffices; split processing stays a
+			// rotating-tree feature.
+			if c.SplitProcessing {
+				return 0, fmt.Errorf("%w: split processing is a rotating-tree feature; the finger-tree backend does not support it", ErrBadBackend)
+			}
+			return BackendFingerTree, nil
 		}
-		return 0, fmt.Errorf("%w: Fixed mode requires the daba or rotating backend, not %v", ErrBadBackend, c.Backend)
+		return 0, fmt.Errorf("%w: Fixed mode requires the daba, rotating, or fingertree backend, not %v", ErrBadBackend, c.Backend)
 	}
 	return 0, ErrBadMode
 }

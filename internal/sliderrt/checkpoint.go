@@ -36,7 +36,13 @@ type checkpointState struct {
 	WindowLo      uint64
 	Live          int
 	Parts         int
-	Partitions    []partCheckpoint
+	// Finger-tree (out-of-order) window ledger: splits per live bucket in
+	// window order, and the in-order bucket clock the watermark is
+	// computed from. Nil/zero for every other backend — gob tolerates the
+	// absent fields, so the format stays version 2.
+	BucketSizes []int
+	BucketSeq   uint64
+	Partitions  []partCheckpoint
 }
 
 // partCheckpoint holds one partition's tree state. Exactly one field
@@ -91,6 +97,10 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 		Parts:         rt.parts,
 		Partitions:    make([]partCheckpoint, rt.parts),
 	}
+	if rt.backend == BackendFingerTree {
+		st.BucketSizes = append([]int(nil), rt.bucketSizes...)
+		st.BucketSeq = rt.bucketSeq
+	}
 	for p := 0; p < rt.parts; p++ {
 		pc := &st.Partitions[p]
 		var err error
@@ -116,9 +126,12 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 			}
 		case rt.cfg.Mode == Fixed:
 			var buckets []Payload
-			if rt.backend == BackendDaba {
+			switch rt.backend {
+			case BackendDaba:
 				buckets, pc.Filled = rt.daba[p].BucketPayloads()
-			} else {
+			case BackendFingerTree:
+				buckets, pc.Filled = rt.finger[p].BucketPayloads()
+			default:
 				buckets, pc.Filled = rt.rot[p].BucketPayloads()
 				pc.Victim = rt.rot[p].Victim()
 			}
@@ -226,8 +239,8 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 		// error; under BackendAuto the restore follows the checkpoint,
 		// subject to the same property gates as New.
 		if cfg.Backend != BackendAuto {
-			return nil, fmt.Errorf("sliderrt: restore: backend mismatch (checkpoint %v, config %v)",
-				st.Backend, rt.backend)
+			return nil, fmt.Errorf("%w: restore: backend mismatch (checkpoint %v, config %v)",
+				ErrBadBackend, st.Backend, rt.backend)
 		}
 		probe := rt.cfg
 		probe.Backend = st.Backend
@@ -289,6 +302,23 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 				}
 				break
 			}
+			if rt.backend == BackendFingerTree {
+				bs := buckets
+				if st.Backend == BackendAuto && pc.Victim != 0 {
+					// Pre-backend rotating frames: leaf-position order with
+					// Victim marking the oldest bucket — rotate into window
+					// order, as on the DABA restore path.
+					if pc.Victim < 0 || pc.Victim >= len(bs) {
+						return nil, fmt.Errorf("sliderrt: restore partition %d: victim %d out of range [0,%d)",
+							p, pc.Victim, len(bs))
+					}
+					bs = append(append(make([]Payload, 0, len(bs)), bs[pc.Victim:]...), bs[:pc.Victim]...)
+				}
+				if err := rt.finger[p].Restore(bs); err != nil {
+					return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
+				}
+				break
+			}
 			if err := rt.rot[p].RestoreAt(buckets, pc.Victim); err != nil {
 				return nil, fmt.Errorf("sliderrt: restore partition %d: %w", p, err)
 			}
@@ -318,6 +348,20 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 	rt.seq = st.Seq
 	rt.windowLo = st.WindowLo
 	rt.live = st.Live
+	if rt.backend == BackendFingerTree {
+		if len(st.BucketSizes) > 0 {
+			rt.bucketSizes = append([]int(nil), st.BucketSizes...)
+			rt.bucketSeq = st.BucketSeq
+		} else {
+			// Checkpoint written by an in-order backend (or pre-ledger
+			// frame): the window is WindowBuckets uniform buckets of w.
+			rt.bucketSizes = make([]int, st.WindowBuckets)
+			for i := range rt.bucketSizes {
+				rt.bucketSizes[i] = st.BucketSplits
+			}
+			rt.bucketSeq = uint64(st.WindowBuckets)
+		}
+	}
 	rt.started = true
 	return rt, nil
 }

@@ -93,6 +93,22 @@ type Config struct {
 	// SplitProcessing enables the background pre-processing of §4 for
 	// Append and Fixed modes.
 	SplitProcessing bool
+	// AllowedLateness admits out-of-order arrivals on Fixed-mode windows:
+	// a late record may land up to AllowedLateness buckets behind the
+	// newest bucket (AdvanceLate). Any positive value marks the job
+	// out-of-order and routes backend selection to the finger tree — the
+	// only structure whose window a late record can enter mid-sequence —
+	// so an explicit conflicting Backend fails with ErrBadBackend.
+	// Arrivals older than the allowance are refused with ErrTooLate: the
+	// effective low watermark is max(Watermark, newest bucket sequence −
+	// AllowedLateness).
+	AllowedLateness int
+	// Watermark is the initial low watermark in bucket sequence numbers
+	// (buckets ever appended, starting at 0): late records destined for a
+	// bucket position below it are refused with ErrTooLate even when they
+	// are within AllowedLateness. Zero — the default — trusts
+	// AllowedLateness alone.
+	Watermark uint64
 	// BucketSplits is w, the number of splits per bucket (Fixed mode).
 	BucketSplits int
 	// WindowBuckets is N, the number of buckets in the window (Fixed
@@ -150,15 +166,22 @@ var (
 	ErrBadAdvance   = errors.New("sliderrt: advance shape does not match the window mode")
 	ErrNotInitial   = errors.New("sliderrt: Advance before Initial")
 	ErrReinitialize = errors.New("sliderrt: Initial called twice")
+	ErrTooLate      = errors.New("sliderrt: arrival behind the watermark")
 )
 
 // validate normalizes and checks the configuration.
 func (c *Config) validate() error {
 	switch c.Mode {
 	case Append, Variable:
+		if c.AllowedLateness > 0 {
+			return fmt.Errorf("%w: AllowedLateness applies to Fixed-mode windows only", ErrBadMode)
+		}
 	case Fixed:
 		if c.BucketSplits <= 0 || c.WindowBuckets <= 0 {
 			return ErrBadBuckets
+		}
+		if c.AllowedLateness < 0 {
+			return fmt.Errorf("%w: negative AllowedLateness", ErrBadMode)
 		}
 	default:
 		return ErrBadMode

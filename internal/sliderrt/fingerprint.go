@@ -79,9 +79,22 @@ func (rt *Runtime) StateFingerprint() uint64 {
 		case rt.cfg.Mode == Fixed:
 			var buckets []Payload
 			var filled bool
-			if rt.backend == BackendDaba {
+			switch rt.backend {
+			case BackendDaba:
 				buckets, filled = rt.daba[p].BucketPayloads()
-			} else {
+			case BackendFingerTree:
+				buckets, filled = rt.finger[p].BucketPayloads()
+				if p == 0 {
+					// The bucket ledger and watermark clock are part of the
+					// logical window state (shared across partitions, so
+					// hashed once).
+					u64(uint64(len(rt.bucketSizes)))
+					for _, sz := range rt.bucketSizes {
+						u64(uint64(sz))
+					}
+					u64(rt.bucketSeq)
+				}
+			default:
 				buckets, filled = rt.rot[p].BucketPayloads()
 				u64(uint64(rt.rot[p].Victim()))
 			}

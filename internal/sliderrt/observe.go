@@ -120,6 +120,10 @@ func (rt *Runtime) buildTreeSnapshot() *TreeSnapshot {
 		for _, t := range rt.daba {
 			add(t.Shape(), t.FingerprintWith(pfp))
 		}
+	case rt.finger != nil:
+		for _, t := range rt.finger {
+			add(t.Shape(), t.FingerprintWith(pfp))
+		}
 	case rt.rnd != nil:
 		for _, t := range rt.rnd {
 			add(t.Shape(), t.FingerprintWith(pfp))
@@ -229,6 +233,8 @@ func (rt *Runtime) partitionTreeStats(p int) core.Stats {
 		return rt.rot[p].Stats()
 	case rt.daba != nil:
 		return rt.daba[p].Stats()
+	case rt.finger != nil:
+		return rt.finger[p].Stats()
 	case rt.rnd != nil:
 		return rt.rnd[p].Stats()
 	case rt.fold != nil:
@@ -248,6 +254,8 @@ func (rt *Runtime) partitionTreeShape(p int) core.TreeShape {
 		return rt.rot[p].Shape()
 	case rt.daba != nil:
 		return rt.daba[p].Shape()
+	case rt.finger != nil:
+		return rt.finger[p].Shape()
 	case rt.rnd != nil:
 		return rt.rnd[p].Shape()
 	case rt.fold != nil:

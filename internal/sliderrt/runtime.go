@@ -73,7 +73,17 @@ type Runtime struct {
 	fold   []*core.FoldingTree[Payload]
 	rnd    []*core.RandomizedFoldingTree[Payload]
 	straw  []*core.StrawmanTree[Payload]
+	finger []*core.FingerTree[Payload]
 	leaves [][]core.Item[Payload] // strawman window leaves per partition
+
+	// Out-of-order (finger-tree) bucket ledger: splits per live bucket in
+	// window order, oldest first — late buckets may be narrower than w —
+	// plus the in-order bucket clock (buckets ever appended at the window
+	// edge; late inserts do not advance it). The clock drives the
+	// effective watermark max(cfg.Watermark, bucketSeq−AllowedLateness).
+	bucketSizes []int
+	bucketSeq   uint64
+	oooEvict    int // buckets the in-flight Advance evicts (partition goroutines read only)
 
 	// Fixed+split: per-partition buckets awaiting background install.
 	pendingBuckets []Payload
@@ -331,6 +341,14 @@ func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
 			if root, ok := rt.daba[p].Root(); ok {
 				roots[p] = []Payload{root}
 			}
+		case BackendFingerTree:
+			buckets := rt.formBuckets(p, payloads)
+			if err := rt.finger[p].Init(buckets); err != nil {
+				return err
+			}
+			if root, ok := rt.finger[p].Root(); ok {
+				roots[p] = []Payload{root}
+			}
 		case BackendRotating:
 			buckets := rt.formBuckets(p, payloads)
 			if err := rt.rot[p].Init(buckets); err != nil {
@@ -387,6 +405,13 @@ func (rt *Runtime) Initial(splits []mapreduce.Split) (*RunResult, error) {
 		bgSpan.End()
 	}
 
+	if rt.backend == BackendFingerTree {
+		rt.bucketSizes = make([]int, rt.cfg.WindowBuckets)
+		for i := range rt.bucketSizes {
+			rt.bucketSizes[i] = rt.cfg.BucketSplits
+		}
+		rt.bucketSeq = uint64(rt.cfg.WindowBuckets)
+	}
 	rt.started = true
 	res := rt.finish(out, rec, bg, statsBefore)
 	res.TreeStats = statsDelta(statsBefore, statsFg)
@@ -407,6 +432,15 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 	}
 	if err := rt.checkAdvance(drop, len(add)); err != nil {
 		return nil, err
+	}
+	if rt.backend == BackendFingerTree {
+		// drop must consume whole oldest buckets of the ledger (late
+		// buckets may be narrower than w, so the count is not drop/w).
+		k, err := rt.evictBucketCount(drop)
+		if err != nil {
+			return nil, err
+		}
+		rt.oooEvict = k
 	}
 	rec := metrics.NewRecorder()
 	bg := metrics.NewRecorder()
@@ -459,6 +493,14 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 		return nil, err
 	}
 	contractPh.end()
+	if rt.backend == BackendFingerTree {
+		w := rt.cfg.BucketSplits
+		rt.bucketSizes = append(rt.bucketSizes[:0], rt.bucketSizes[rt.oooEvict:]...)
+		for i := 0; i < len(add)/w; i++ {
+			rt.bucketSizes = append(rt.bucketSizes, w)
+		}
+		rt.bucketSeq += uint64(len(add) / w)
+	}
 
 	reducePh := so.phase("reduce")
 	out := rt.reduceAll(rec, roots)
@@ -480,6 +522,118 @@ func (rt *Runtime) Advance(drop int, add []mapreduce.Split) (*RunResult, error) 
 	// resets tree counters, and the next Advance reads a fresh baseline.
 	rt.maybeSwitchBackend()
 	return res, nil
+}
+
+// AdvanceLate lands late-arriving splits in the window without sliding
+// it: the records form one new bucket inserted `lateness` buckets
+// behind the newest live bucket (lateness 0 appends at the window's
+// newest edge, lateness len(buckets) at its oldest), and only the
+// affected root path of each partition's finger tree is re-contracted —
+// O(log w) combines, not a rebuild. Requires the finger-tree backend
+// (Config.AllowedLateness routes selection there); arrivals behind the
+// effective watermark — later than AllowedLateness buckets, or destined
+// below Config.Watermark on the bucket-sequence clock — are refused
+// with ErrTooLate, and the window is left untouched.
+func (rt *Runtime) AdvanceLate(lateness int, late []mapreduce.Split) (*RunResult, error) {
+	if !rt.started {
+		return nil, ErrNotInitial
+	}
+	if rt.backend != BackendFingerTree {
+		return nil, fmt.Errorf("%w: late arrivals require the finger-tree backend (set Config.AllowedLateness)", ErrBadBackend)
+	}
+	if len(late) == 0 {
+		return nil, fmt.Errorf("%w: late advance of zero splits", ErrBadAdvance)
+	}
+	if lateness < 0 || lateness > len(rt.bucketSizes) {
+		return nil, fmt.Errorf("%w: lateness=%d with %d live buckets", ErrBadAdvance, lateness, len(rt.bucketSizes))
+	}
+	if lateness > rt.cfg.AllowedLateness {
+		return nil, fmt.Errorf("%w: lateness %d exceeds AllowedLateness %d", ErrTooLate, lateness, rt.cfg.AllowedLateness)
+	}
+	// Saturating: a lateness deeper than the in-order clock (possible when
+	// late buckets outnumber in-order ones) targets sequence 0, it must
+	// not wrap around and sail past the watermark.
+	target := uint64(0)
+	if uint64(lateness) <= rt.bucketSeq {
+		target = rt.bucketSeq - uint64(lateness)
+	}
+	if target < rt.cfg.Watermark {
+		return nil, fmt.Errorf("%w: bucket sequence %d is below watermark %d", ErrTooLate, target, rt.cfg.Watermark)
+	}
+	rec := metrics.NewRecorder()
+	bg := metrics.NewRecorder()
+	rt.store.ResetReadStats()
+	statsBefore := rt.treeStats()
+	so := rt.beginSlide("late")
+	defer so.abort()
+	so.span.Event("late: lateness=%d add=%d", lateness, len(late))
+
+	mapPh := so.phase("map")
+	results, err := rt.mapAdds(late, rec)
+	if err != nil {
+		return nil, err
+	}
+	mapPh.end()
+
+	pos := len(rt.bucketSizes) - lateness
+	contractPh := so.phase("contract")
+	roots := make([][]Payload, rt.parts)
+	if err := rt.forEachPartition(func(p int) error {
+		start := time.Now()
+		ps := partitionSpan(contractPh.span, p)
+		treeBefore := rt.partitionTreeStats(p)
+		payloads := partPayloads(results, p)
+		bucket := rt.foldPayloads(p, payloads)
+		if err := rt.finger[p].InsertAt(pos, bucket); err != nil {
+			return err
+		}
+		if root, ok := rt.finger[p].Root(); ok {
+			roots[p] = []Payload{root}
+		}
+		elapsed := time.Since(start)
+		rt.chargeStateRead(p, roots[p])
+		writeNs := rt.putPartState(p, roots[p])
+		rt.recordContraction(rec, p, elapsed+time.Duration(writeNs), roots[p])
+		rt.endPartitionSpan(ps, p, treeBefore)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	contractPh.end()
+	// The late bucket joins the window's bucket ledger at its position;
+	// the in-order bucket clock does not advance, so the watermark holds.
+	rt.bucketSizes = append(rt.bucketSizes, 0)
+	copy(rt.bucketSizes[pos+1:], rt.bucketSizes[pos:])
+	rt.bucketSizes[pos] = len(late)
+
+	reducePh := so.phase("reduce")
+	out := rt.reduceAll(rec, roots)
+	reducePh.end()
+	statsFg := rt.treeStats()
+	rt.recordTreeCounters(rec, statsDelta(statsBefore, statsFg))
+	res := rt.finish(out, rec, bg, statsBefore)
+	res.TreeStats = statsDelta(statsBefore, statsFg)
+	so.finish(res)
+	return res, nil
+}
+
+// evictBucketCount maps a drop expressed in splits onto the bucket
+// ledger: the number of whole oldest buckets whose sizes sum to exactly
+// drop. A drop that cuts a bucket in half is ErrBadAdvance — buckets
+// are the finger tree's eviction unit.
+func (rt *Runtime) evictBucketCount(drop int) (int, error) {
+	n, sum := 0, 0
+	for _, sz := range rt.bucketSizes {
+		if sum >= drop {
+			break
+		}
+		sum += sz
+		n++
+	}
+	if sum != drop {
+		return 0, fmt.Errorf("%w: drop=%d does not align with whole window buckets", ErrBadAdvance, drop)
+	}
+	return n, nil
 }
 
 // recordTreeCounters transfers a run's contraction-tree node work into
@@ -521,6 +675,21 @@ func (rt *Runtime) advancePartition(p, drop int, baseSeq uint64, payloads []Payl
 		return []Payload{rt.coal[p].Append(cNew)}, nil
 	case Fixed:
 		buckets := rt.formBuckets(p, payloads)
+		if rt.backend == BackendFingerTree {
+			// Bulk path: one split for the K evicted buckets, one
+			// build+join for the K new ones — O(K + log w) combines
+			// instead of K root-path slides.
+			if err := rt.finger[p].BulkEvict(rt.oooEvict); err != nil {
+				return nil, err
+			}
+			if err := rt.finger[p].BulkInsert(buckets); err != nil {
+				return nil, err
+			}
+			if root, ok := rt.finger[p].Root(); ok {
+				return []Payload{root}, nil
+			}
+			return nil, nil
+		}
 		if rt.backend == BackendDaba {
 			// O(1) in-order fast path: each bucket slide costs a bounded
 			// constant number of combines, independent of WindowBuckets.
@@ -727,6 +896,19 @@ func (rt *Runtime) checkAdvance(drop, add int) error {
 			}
 			return nil
 		}
+		if rt.backend == BackendFingerTree {
+			// The out-of-order window may drift: bulk evictions and bulk
+			// insertions need not balance. Adds still arrive in whole
+			// buckets of w; drops must consume whole oldest buckets of the
+			// ledger, which Advance checks against the bucket sizes.
+			if drop == 0 && add == 0 {
+				return fmt.Errorf("%w: empty advance", ErrBadAdvance)
+			}
+			if add%w != 0 {
+				return fmt.Errorf("%w: finger-tree adds arrive in whole buckets of w (w=%d, got add=%d)", ErrBadAdvance, w, add)
+			}
+			return nil
+		}
 		if drop != add || add == 0 || add%w != 0 {
 			return fmt.Errorf("%w: fixed-width slides need drop == add == k×w (w=%d, got drop=%d add=%d)", ErrBadAdvance, w, drop, add)
 		}
@@ -804,7 +986,7 @@ func (rt *Runtime) allocTrees() {
 	// Drop any previous backend's structures: allocTrees also re-homes
 	// the runtime on a live backend switch.
 	rt.coal, rt.rot, rt.daba, rt.fold, rt.rnd = nil, nil, nil, nil, nil
-	rt.straw, rt.leaves = nil, nil
+	rt.straw, rt.finger, rt.leaves = nil, nil, nil
 	switch rt.backend {
 	case BackendStrawman:
 		rt.straw = make([]*core.StrawmanTree[Payload], n)
@@ -822,6 +1004,11 @@ func (rt *Runtime) allocTrees() {
 		rt.daba = make([]*core.DabaLite[Payload], n)
 		for p := range rt.daba {
 			rt.daba[p] = core.NewDaba(rt.mergeFor(p), rt.cfg.WindowBuckets)
+		}
+	case BackendFingerTree:
+		rt.finger = make([]*core.FingerTree[Payload], n)
+		for p := range rt.finger {
+			rt.finger[p] = core.NewFingerTree(rt.mergeFor(p))
 		}
 	case BackendRotating:
 		rt.rot = make([]*core.RotatingTree[Payload], n)
@@ -864,6 +1051,8 @@ func (rt *Runtime) partitionTreeBytes(p int) int64 {
 		rt.rot[p].ForEachPayload(count)
 	case rt.daba != nil:
 		rt.daba[p].ForEachPayload(count)
+	case rt.finger != nil:
+		rt.finger[p].ForEachPayload(count)
 	case rt.rnd != nil:
 		rt.rnd[p].ForEachPayload(count)
 	case rt.fold != nil:
@@ -887,6 +1076,9 @@ func (rt *Runtime) treeStats() core.Stats {
 		addStats(t.Stats())
 	}
 	for _, t := range rt.daba {
+		addStats(t.Stats())
+	}
+	for _, t := range rt.finger {
 		addStats(t.Stats())
 	}
 	for _, t := range rt.fold {
@@ -917,6 +1109,9 @@ func (rt *Runtime) spaceBytes() int64 {
 		t.ForEachPayload(count)
 	}
 	for _, t := range rt.daba {
+		t.ForEachPayload(count)
+	}
+	for _, t := range rt.finger {
 		t.ForEachPayload(count)
 	}
 	for _, t := range rt.fold {

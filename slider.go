@@ -122,11 +122,29 @@ const (
 	BackendRandomizedFolding = sliderrt.BackendRandomizedFolding
 	// BackendStrawman is the memoization-only baseline structure.
 	BackendStrawman = sliderrt.BackendStrawman
+	// BackendFingerTree is the out-of-order aggregator (FiBA-style):
+	// fixed-mode windows with late arrivals under Config.AllowedLateness
+	// and bulk evict/insert at O(K + log w) combines.
+	BackendFingerTree = sliderrt.BackendFingerTree
 )
 
 // ParseBackend parses a backend name as printed by Backend.String
 // ("auto", "daba", "rotating", ...) — the daemons' -backend flag.
 func ParseBackend(s string) (Backend, error) { return sliderrt.ParseBackend(s) }
+
+// Sentinel errors callers are expected to test with errors.Is.
+var (
+	// ErrBadMode reports an invalid Config (mode/knob combination).
+	ErrBadMode = sliderrt.ErrBadMode
+	// ErrBadBackend reports an explicit Config.Backend the window mode or
+	// job cannot legally run on (e.g. any non-finger-tree backend combined
+	// with AllowedLateness > 0).
+	ErrBadBackend = sliderrt.ErrBadBackend
+	// ErrTooLate reports a Runtime.AdvanceLate arrival behind the
+	// effective watermark: lateness beyond Config.AllowedLateness, or a
+	// target bucket sequence below Config.Watermark.
+	ErrTooLate = sliderrt.ErrTooLate
+)
 
 // SwitchPolicyConfig configures ContractQuantileSwitchPolicy.
 type SwitchPolicyConfig = sliderrt.SwitchPolicyConfig
