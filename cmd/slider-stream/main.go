@@ -8,6 +8,12 @@
 //
 // Every slide prints the window's top words and the update's cost. With
 // -slide 0 the window is append-only.
+//
+// With -workers the map phase runs remotely on slider-worker processes
+// (which register the same "stream-wordcount" job), the periodic stats
+// line grows a cluster section federated from the workers' Stats RPCs,
+// and the obs server's /metrics exposes per-worker and cluster-level
+// series next to the driver's own.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"slider"
 )
@@ -37,7 +44,7 @@ func wordCount() *slider.Job {
 		return total
 	}
 	return &slider.Job{
-		Name:       "wordcount",
+		Name:       "stream-wordcount",
 		Partitions: 4,
 		Map: func(rec slider.Record, emit slider.Emit) error {
 			for _, w := range strings.Fields(rec.(string)) {
@@ -60,8 +67,9 @@ func run(args []string) error {
 	backendName := fs.String("backend", "auto", "aggregation backend: auto, daba, rotating, coalescing, folding, randomized-folding, strawman, fingertree")
 	lateness := fs.Int("lateness", 0, "accepted bucket lateness for out-of-order arrivals (>0 selects the fingertree backend)")
 	switchPolicy := fs.String("switch-policy", "", "live backend-switch policy over the contract-phase latency, e.g. p95:high=20ms,low=5ms,n=3 (fixed windows only; empty = off)")
-	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof, /debug/slides and /debug/tree on this address (empty = no server)")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /debug/pprof, /debug/slides, /debug/tree and /debug/trace on this address (empty = no server)")
 	statsEvery := fs.Int("stats", 10, "print a runtime stats line every N windows (0 = never)")
+	workerAddrs := fs.String("workers", "", "comma-separated slider-worker addresses to run the map phase on (empty = in-process)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +88,26 @@ func run(args []string) error {
 	so := slider.NewSlideObs()
 	if *obsAddr == "" {
 		so.Tracer.SetMode(slider.TraceOff, 0)
+	}
+
+	// With -workers the map phase runs on remote slider-worker processes.
+	// The pool shares the runtime's fault recorder and tracer so retries,
+	// hedges, and the workers' own span trees all land in one place, and
+	// polls every worker's Stats RPC to keep a federated cluster view.
+	faults := &slider.FaultRecorder{}
+	var pool *slider.WorkerPool
+	if *workerAddrs != "" {
+		pool, err = slider.NewWorkerPoolConfig("stream-wordcount",
+			strings.Split(*workerAddrs, ","), slider.WorkerPoolConfig{
+				Hedge:         true,
+				StatsInterval: time.Second,
+				Faults:        faults,
+				Tracer:        so.Tracer,
+			})
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
 	}
 
 	var cw *slider.CountWindow
@@ -114,22 +142,30 @@ func run(args []string) error {
 			if ms.Hits+ms.Misses > 0 {
 				hitRatio = float64(ms.Hits) / float64(ms.Hits+ms.Misses)
 			}
-			faults := "none"
+			faultLine := "none"
 			if fsnap := cw.Runtime().FaultRecorder().Snapshot(); fsnap != (slider.FaultStats{}) {
-				faults = fsnap.String()
+				faultLine = fsnap.String()
 			}
 			fmt.Printf("stats: slides=%d backend=%v memo-hit=%.1f%% slide-p95=%v faults: %s\n",
-				runNo, cw.Runtime().Backend(), 100*hitRatio, so.Slide.Quantile(0.95), faults)
+				runNo, cw.Runtime().Backend(), 100*hitRatio, so.Slide.Quantile(0.95), faultLine)
+			if pool != nil {
+				fmt.Printf("stats: %s\n", pool.ClusterStats())
+			}
 		}
 		return nil
 	}
 
+	rtCfg := slider.Config{Obs: so, Backend: backend, SwitchHook: switchHook,
+		AllowedLateness: *lateness, Faults: faults}
+	if pool != nil {
+		rtCfg.MapRunner = pool
+	}
 	cw, err = slider.NewCountWindow(slider.CountWindowConfig{
 		Job:             wordCount(),
 		RecordsPerSplit: *split,
 		WindowSplits:    *window,
 		SlideSplits:     *slide,
-		Config:          slider.Config{Obs: so, Backend: backend, SwitchHook: switchHook, AllowedLateness: *lateness},
+		Config:          rtCfg,
 	}, sink)
 	if err != nil {
 		return err

@@ -9,8 +9,17 @@
 //	slider-demo -workers 127.0.0.1:7070,127.0.0.1:7071
 //
 // Jobs are identified by name; this binary registers "wordcount" (the
-// job slider-demo runs). Embedders register their own jobs with
+// job slider-demo runs) and "stream-wordcount" (the normalized variant
+// slider-stream runs, so a stream driver with -workers can farm its map
+// phase out to these processes). Embedders register their own jobs with
 // slider.RegisterJob in their own worker binaries.
+//
+// With -obs-addr set the worker also serves its own observability
+// endpoints: /metrics (self stats: tasks served, per-phase latency
+// histograms, fault counters) and /debug/trace (recent batch traces as
+// Chrome trace JSON). The same instrumentation makes the worker answer
+// the pool's Stats RPCs, feeding cluster-level federation on the
+// driver's /metrics.
 package main
 
 import (
@@ -47,6 +56,32 @@ func wordCount() *slider.Job {
 	}
 }
 
+// streamWordCount is slider-stream's normalized word count; the factory
+// here must match the one in cmd/slider-stream byte-for-byte semantics
+// (jobs travel by name, the Map function does not cross the wire).
+func streamWordCount() *slider.Job {
+	sum := func(_ string, values []slider.Value) slider.Value {
+		var total int64
+		for _, v := range values {
+			total += v.(int64)
+		}
+		return total
+	}
+	return &slider.Job{
+		Name:       "stream-wordcount",
+		Partitions: 4,
+		Map: func(rec slider.Record, emit slider.Emit) error {
+			for _, w := range strings.Fields(rec.(string)) {
+				emit(strings.ToLower(strings.Trim(w, ".,;:!?\"'()[]")), int64(1))
+			}
+			return nil
+		},
+		Combine:     sum,
+		Reduce:      sum,
+		Commutative: true,
+	}
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "slider-worker:", err)
@@ -67,6 +102,9 @@ func run(args []string) error {
 	if err := registry.Register("wordcount", wordCount); err != nil {
 		return err
 	}
+	if err := registry.Register("stream-wordcount", streamWordCount); err != nil {
+		return err
+	}
 
 	label := *name
 	if label == "" {
@@ -78,7 +116,17 @@ func run(args []string) error {
 	}
 	fmt.Printf("slider-worker %q serving %v on %s\n", label, registry.Names(), worker.Addr())
 	if *obsAddr != "" {
-		srv, err := slider.StartObsServer(*obsAddr, slider.ObsConfig{})
+		// Instrumentation rides the obs flag: without it the batch
+		// handler stays a zero-allocation no-op; with it the worker
+		// records batch span trees, answers the pool's Stats RPCs, and
+		// stitches its spans into the driver's slide traces.
+		obs := slider.NewWorkerObs()
+		worker.SetObs(obs)
+		srv, err := slider.StartObsServer(*obsAddr, slider.ObsConfig{
+			Node:   worker.StatsSnapshot,
+			Tracer: obs.Tracer,
+			Fault:  obs.Faults,
+		})
 		if err != nil {
 			return err
 		}

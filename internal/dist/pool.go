@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
 	"time"
 
@@ -91,6 +92,12 @@ type PoolConfig struct {
 	// success. Default 500ms; negative disables the checker (workers
 	// still revive on demand, gated by the same breaker state).
 	HealthInterval time.Duration
+	// StatsInterval is the metrics-federation poll period: the pool pulls
+	// every live worker's Stats snapshot (fault counters plus per-phase
+	// latency histograms) and caches it for ClusterStats, which /metrics
+	// renders with per-worker labels and cluster aggregates. Default 1s;
+	// negative disables polling (PollStats still works on demand).
+	StatsInterval time.Duration
 	// Hedge enables speculative execution: when a round's in-flight work
 	// has been outstanding longer than the HedgeQuantile of recent batch
 	// latencies (and at least HedgeMin), the still-pending splits are
@@ -140,6 +147,9 @@ func (c *PoolConfig) normalize() {
 	if c.HealthInterval == 0 {
 		c.HealthInterval = 500 * time.Millisecond
 	}
+	if c.StatsInterval == 0 {
+		c.StatsInterval = time.Second
+	}
 	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
 		c.HedgeQuantile = 0.95
 	}
@@ -182,6 +192,13 @@ type Pool struct {
 
 	healthStop chan struct{}
 	healthWG   sync.WaitGroup
+
+	// statsMu guards the federation cache (latest Stats snapshot per
+	// worker address), written by the stats poller and read by
+	// ClusterStats — deliberately separate from mu so a scrape never
+	// contends with batch dispatch.
+	statsMu sync.Mutex
+	stats   map[string]metrics.NodeStats
 }
 
 type poolWorker struct {
@@ -212,6 +229,7 @@ func NewPoolConfig(jobName string, addrs []string, cfg PoolConfig) (*Pool, error
 		faults:  cfg.Faults,
 		tracer:  cfg.Tracer,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		stats:   make(map[string]metrics.NodeStats),
 	}
 	live := 0
 	now := time.Now()
@@ -230,10 +248,16 @@ func NewPoolConfig(jobName string, addrs []string, cfg PoolConfig) (*Pool, error
 		p.Close()
 		return nil, ErrNoWorkers
 	}
-	if cfg.HealthInterval > 0 {
+	if cfg.HealthInterval > 0 || cfg.StatsInterval > 0 {
 		p.healthStop = make(chan struct{})
+	}
+	if cfg.HealthInterval > 0 {
 		p.healthWG.Add(1)
 		go p.healthLoop()
+	}
+	if cfg.StatsInterval > 0 {
+		p.healthWG.Add(1)
+		go p.statsLoop()
 	}
 	return p, nil
 }
@@ -314,6 +338,87 @@ func (p *Pool) healthLoop() {
 			p.probeDown()
 		}
 	}
+}
+
+// statsLoop is the metrics-federation poller: it periodically pulls
+// every live worker's Stats snapshot into the ClusterStats cache.
+func (p *Pool) statsLoop() {
+	defer p.healthWG.Done()
+	ticker := time.NewTicker(p.cfg.StatsInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.healthStop:
+			return
+		case <-ticker.C:
+			p.PollStats()
+		}
+	}
+}
+
+// PollStats pulls a Stats snapshot from every live worker right now and
+// caches it for ClusterStats. A worker that fails to answer keeps its
+// previous snapshot; stats failures never trip the breaker — liveness is
+// the health checker's and the RunMap path's job, and poisoning a worker
+// over a monitoring RPC would let observability degrade the work.
+func (p *Pool) PollStats() {
+	type target struct {
+		addr   string
+		client *rpc.Client
+	}
+	var targets []target
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	for _, w := range p.workers {
+		if !w.down && w.client != nil {
+			targets = append(targets, target{addr: w.addr, client: w.client})
+		}
+	}
+	p.mu.Unlock()
+	for _, t := range targets {
+		var reply StatsReply
+		call := t.client.Go("Slider.Stats", StatsArgs{}, &reply, make(chan *rpc.Call, 1))
+		timer := time.NewTimer(p.cfg.DialTimeout)
+		select {
+		case c := <-call.Done:
+			timer.Stop()
+			if c.Error != nil {
+				continue
+			}
+		case <-timer.C:
+			continue
+		}
+		p.statsMu.Lock()
+		p.stats[t.addr] = metrics.NodeStats{
+			Node:   reply.Worker,
+			Addr:   t.addr,
+			Served: reply.Served,
+			Faults: reply.Faults,
+			Hists:  reply.Hists,
+		}
+		p.statsMu.Unlock()
+	}
+}
+
+// ClusterStats returns the pool's federated view of its workers: the
+// latest Stats snapshot per worker address, ordered by address. Fold it
+// with Merged() for cluster aggregates.
+func (p *Pool) ClusterStats() metrics.ClusterStats {
+	p.statsMu.Lock()
+	addrs := make([]string, 0, len(p.stats))
+	for addr := range p.stats {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	out := metrics.ClusterStats{Workers: make([]metrics.NodeStats, 0, len(addrs))}
+	for _, addr := range addrs {
+		out.Workers = append(out.Workers, p.stats[addr])
+	}
+	p.statsMu.Unlock()
+	return out
 }
 
 // probeDown pings every down worker the breaker allows and revives the
@@ -496,10 +601,29 @@ type batchOutcome struct {
 // transport outcome against the worker (breaker, latency) itself, so a
 // late result still heals or trips state even if the collector has moved
 // on; outcomes is buffered, so abandoned senders never block.
+//
+// When a slide span is active, each launch — original, retry, or hedge —
+// gets its own attempt span under it carrying the trace context to the
+// worker, and a successful response's worker spans are stitched in
+// anchored at the pool-observed send time and clamped to the observed
+// RPC window (clock skew cannot move them outside the attempt).
 func (p *Pool) launch(a *batchAssign, frames [][]byte, outcomes chan<- batchOutcome, hedge bool) {
 	req := MapRequest{JobName: p.jobName, SplitFrames: make([][]byte, 0, len(a.indices))}
 	for _, i := range a.indices {
 		req.SplitFrames = append(req.SplitFrames, frames[i])
+	}
+	var attempt *metrics.Span
+	if parent := p.span(); parent != nil {
+		label := "rpc " + a.w.addr
+		if hedge {
+			label += " (hedge)"
+		}
+		attempt = parent.Child(label)
+		attempt.Event("%d splits", len(a.indices))
+		req.Trace = true
+		req.TraceID = attempt.TraceID()
+		req.SlideID = attempt.SlideID()
+		req.ParentSpan = label
 	}
 	go func() {
 		start := time.Now()
@@ -512,14 +636,18 @@ func (p *Pool) launch(a *batchAssign, frames [][]byte, outcomes chan<- batchOutc
 		fatal := false
 		if err == nil {
 			p.noteSuccess(a.w, elapsed)
+			metrics.StitchWireSpans(attempt, resp.Spans, start, elapsed)
 		} else if _, ok := err.(rpc.ServerError); ok {
 			// The worker answered: transport is healthy, the job itself
 			// failed (unknown job, map error). Deterministic — re-running
 			// elsewhere cannot help.
 			fatal = true
+			attempt.Event("rejected: %v", err)
 		} else {
 			p.failContact(a.w, a.client)
+			attempt.Event("failed after %v: %v", elapsed.Round(time.Millisecond), err)
 		}
+		attempt.End()
 		outcomes <- batchOutcome{a: a, resp: resp, err: err, fatal: fatal, elapsed: elapsed, hedge: hedge}
 	}()
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports whether the race detector is on; allocation-count
+// assertions are skipped under it (the detector's shadow allocations
+// make testing.AllocsPerRun nondeterministic).
+const raceEnabled = true

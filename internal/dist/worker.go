@@ -5,9 +5,11 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slider/internal/mapreduce"
+	"slider/internal/metrics"
 	"slider/internal/persist"
 )
 
@@ -19,6 +21,18 @@ type MapRequest struct {
 	JobName string
 	// SplitFrames holds one encoded mapreduce.Split per task.
 	SplitFrames [][]byte
+	// Trace asks the worker to record and return spans for this batch
+	// (set when the pool itself is tracing the owning slide). A worker
+	// with no observability bundle installed ignores it.
+	Trace bool
+	// TraceID and SlideID propagate the owning slide's trace context so
+	// worker-retained spans are correlatable with the pool's trace even
+	// when the response is lost.
+	TraceID uint64
+	SlideID uint64
+	// ParentSpan names the pool-side span this batch hangs under
+	// (diagnostics; e.g. "rpc 127.0.0.1:7001 (hedge)").
+	ParentSpan string
 }
 
 // MapResult mirrors mapreduce.MapResult in wire-friendly form.
@@ -35,6 +49,11 @@ type MapResponse struct {
 	Results []MapResult
 	// Worker identifies the responding worker (diagnostics).
 	Worker string
+	// Spans carries the worker's span tree for this batch in wire form
+	// (offsets/durations only — no absolute timestamps, so clock skew
+	// cannot leak; see metrics.StitchWireSpans). Empty unless the request
+	// set Trace and the worker has an observability bundle.
+	Spans []metrics.WireSpan
 }
 
 // PingArgs/PingReply implement the health probe.
@@ -106,6 +125,7 @@ type Worker struct {
 	registry *Registry
 	listener net.Listener
 	faults   WorkerFaults
+	obs      atomic.Pointer[WorkerObs]
 
 	mu     sync.Mutex
 	served int64
@@ -244,11 +264,26 @@ type workerService struct {
 // the first split, drop computes everything but hangs up before
 // replying, corrupt flips a byte in a payload frame, delay stalls the
 // response.
+//
+// With an observability bundle installed the handler records a span tree
+// (decode, map+combine, encode per split) into the worker's own ring and
+// — when the request asks for tracing — ships it back in resp.Spans for
+// the pool to stitch. With no bundle every instrumentation line below is
+// a nil check: the batch span is nil, Span methods are nil-receiver
+// no-ops, and the histogram branches are skipped, adding zero
+// allocations to the hot path (TestWorkerNoObsZeroAllocDelta).
 func (s *workerService) RunMap(req MapRequest, resp *MapResponse) error {
 	delay, drop, corrupt, crash := s.w.faults.take()
 	job, err := s.w.registry.Lookup(req.JobName)
 	if err != nil {
 		return err
+	}
+	obs := s.w.obs.Load()
+	batchStart := time.Now()
+	var batch *metrics.Span
+	if obs != nil && req.Trace {
+		batch = obs.Tracer.StartSlide(req.SlideID, fmt.Sprintf("%s %s ×%d", s.w.name, req.JobName, len(req.SplitFrames)))
+		batch.Event("trace %d parent %q", req.TraceID, req.ParentSpan)
 	}
 	resp.Worker = s.w.name
 	resp.Results = make([]MapResult, 0, len(req.SplitFrames))
@@ -260,22 +295,54 @@ func (s *workerService) RunMap(req MapRequest, resp *MapResponse) error {
 			s.w.Kill()
 			return fmt.Errorf("dist: worker %s: injected crash", s.w.name)
 		}
+		var sp *metrics.Span
+		if batch != nil {
+			sp = batch.Child(fmt.Sprintf("split %d", idx))
+		}
 		// Zero-copy decode: record strings alias the request frame, which
 		// stays alive (and unmodified) for the duration of the map task.
+		decStart := time.Now()
+		dec := sp.Child("decode")
 		split, err := persist.DecodeSplitZeroCopy(frame)
+		dec.End()
 		if err != nil {
+			if obs != nil {
+				obs.Faults.CorruptFrames.Add(1)
+			}
+			sp.Event("decode failed: %v", err)
+			batch.End()
 			return fmt.Errorf("dist: worker %s: %w", s.w.name, err)
 		}
+		if obs != nil {
+			obs.Decode.Observe(time.Since(decStart))
+		}
+		// The map-side combiner is fused into the map task's emit path, so
+		// this one span covers both (there is no separate combine pass).
+		mc := sp.Child("map+combine")
 		start := time.Now()
 		result, err := mapreduce.RunMapTask(job, split)
+		mc.End()
 		if err != nil {
+			batch.End()
 			return fmt.Errorf("dist: worker %s: %w", s.w.name, err)
 		}
+		if obs != nil {
+			obs.Map.Observe(time.Since(start))
+		}
+		encStart := time.Now()
+		enc := sp.Child("encode")
 		parts := make([][]byte, len(result.Parts))
 		for i, p := range result.Parts {
 			if parts[i], err = persist.EncodePayload(p); err != nil {
+				enc.End()
+				batch.End()
 				return fmt.Errorf("dist: worker %s: %w", s.w.name, err)
 			}
+		}
+		enc.End()
+		sp.End()
+		if obs != nil {
+			obs.Encode.Observe(time.Since(encStart))
 		}
 		resp.Results = append(resp.Results, MapResult{
 			SplitID:    result.SplitID,
@@ -287,6 +354,13 @@ func (s *workerService) RunMap(req MapRequest, resp *MapResponse) error {
 		s.w.mu.Lock()
 		s.w.served++
 		s.w.mu.Unlock()
+	}
+	if obs != nil {
+		obs.Batch.Observe(time.Since(batchStart))
+	}
+	if batch != nil {
+		batch.End()
+		resp.Spans = metrics.ExportWireSpans(batch)
 	}
 	if crash && len(req.SplitFrames) <= 1 {
 		// Single-split batch: crash after compute, before the reply.

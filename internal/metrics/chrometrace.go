@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file exports a slide's span tree as Chrome trace-event JSON — the
+// {"traceEvents": [...]} format chrome://tracing and Perfetto load
+// directly, so a cross-machine flame summary from /debug/slides becomes a
+// zoomable flame graph in a browser. Every span is a "X" (complete)
+// event; span events become "i" (instant) events; "M" (metadata) events
+// name the process and tracks.
+//
+// Trace viewers render each (pid, tid) pair as one track and require the
+// "X" events on a track to nest like a call stack. A span tree does not
+// guarantee that — sibling spans overlap whenever partitions run in
+// parallel — so the exporter assigns track IDs greedily: a child reuses
+// its parent's track when it fits after everything already placed there,
+// and overflows onto a fresh track otherwise. Parallel work therefore
+// fans out vertically, exactly how a trace viewer shows real threads.
+
+// chromeEvent is one entry of the traceEvents array. Field names are the
+// trace-event format's, not ours.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeSpan is an immutable snapshot of one span with times resolved
+// against the root, taken under the span's lock before layout.
+type chromeSpan struct {
+	name     string
+	start    time.Duration // offset from root start
+	dur      time.Duration
+	degraded bool
+	events   []SpanEvent
+	children []*chromeSpan
+}
+
+func snapshotChromeSpan(s *Span, base time.Time) *chromeSpan {
+	s.mu.Lock()
+	dur := s.dur
+	if !s.done {
+		dur = time.Since(s.Start)
+	}
+	out := &chromeSpan{
+		name:     s.Name,
+		start:    s.Start.Sub(base),
+		dur:      dur,
+		degraded: s.degraded,
+		events:   append([]SpanEvent(nil), s.events...),
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.children = append(out.children, snapshotChromeSpan(c, base))
+	}
+	return out
+}
+
+// errNilSpan is returned when exporting a nil span tree.
+var errNilSpan = errors.New("metrics: no span to export")
+
+// WriteChromeTrace writes root's span tree to w as Chrome trace-event
+// JSON ({"traceEvents": [...]}, loadable by Perfetto and
+// chrome://tracing). Timestamps are microsecond offsets from the root
+// span's start. Returns an error on a nil root or a write failure.
+func WriteChromeTrace(w io.Writer, root *Span) error {
+	if root == nil {
+		return errNilSpan
+	}
+	snap := snapshotChromeSpan(root, root.Start)
+	slideID := root.SlideID()
+	traceID := root.TraceID()
+
+	const pid = 1
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+	var events []chromeEvent
+	nextTid := 0
+	newTrack := func() int { nextTid++; return nextTid - 1 }
+
+	var layout func(s *chromeSpan, tid int)
+	layout = func(s *chromeSpan, tid int) {
+		dur := us(s.dur)
+		args := map[string]any{}
+		if s.degraded {
+			args["degraded"] = true
+		}
+		events = append(events, chromeEvent{
+			Name: s.name, Ph: "X", Ts: us(s.start), Dur: &dur,
+			Pid: pid, Tid: tid, Args: args,
+		})
+		for _, ev := range s.events {
+			events = append(events, chromeEvent{
+				Name: ev.Msg, Ph: "i", Ts: us(s.start + ev.At),
+				Pid: pid, Tid: tid, S: "t",
+			})
+		}
+
+		// Clamp children into the parent's bounds (stitched worker spans
+		// are already clamped into their RPC window; this keeps any local
+		// measurement jitter from breaking the viewer's nesting too).
+		end := s.start + s.dur
+		children := append([]*chromeSpan(nil), s.children...)
+		for _, c := range children {
+			if c.start < s.start {
+				c.start = s.start
+			}
+			if c.start > end {
+				c.start = end
+			}
+			if c.start+c.dur > end {
+				c.dur = end - c.start
+			}
+		}
+		sort.SliceStable(children, func(i, j int) bool { return children[i].start < children[j].start })
+
+		// Greedy track assignment: lane 0 is the parent's own track (a
+		// child there nests inside the parent's "X" event); overlapping
+		// siblings overflow onto fresh tracks.
+		type lane struct {
+			tid  int
+			busy time.Duration // end of the last span placed on this lane
+		}
+		lanes := []lane{{tid: tid, busy: s.start}}
+		for _, c := range children {
+			placed := -1
+			for i := range lanes {
+				if lanes[i].busy <= c.start {
+					placed = i
+					break
+				}
+			}
+			if placed < 0 {
+				lanes = append(lanes, lane{tid: newTrack()})
+				placed = len(lanes) - 1
+			}
+			lanes[placed].busy = c.start + c.dur
+			layout(c, lanes[placed].tid)
+		}
+	}
+	layout(snap, newTrack())
+
+	meta := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "slider"}},
+		{Name: "process_labels", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"labels": snap.name}},
+	}
+	tids := map[int]bool{}
+	for _, ev := range events {
+		if !tids[ev.Tid] {
+			tids[ev.Tid] = true
+			name := "lane " + itoa(ev.Tid)
+			if ev.Tid == 0 {
+				name = "slide"
+			}
+			meta = append(meta, chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: ev.Tid,
+				Args: map[string]any{"name": name}})
+		}
+	}
+
+	doc := struct {
+		TraceEvents []chromeEvent  `json:"traceEvents"`
+		Metadata    map[string]any `json:"metadata"`
+	}{
+		TraceEvents: append(meta, events...),
+		Metadata: map[string]any{
+			"slide":    slideID,
+			"trace-id": traceID,
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// itoa avoids importing strconv just for track names.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses exporter output the way the CI job does: a single
+// JSON object with a traceEvents array of objects.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, data)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace output has no traceEvents")
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(4)
+	slide := tr.StartSlide(12, "slide 12")
+	phase := slide.Child("map phase")
+	// Two overlapping partitions: must land on distinct tracks.
+	p0 := phase.Child("partition 0")
+	p1 := phase.Child("partition 1")
+	p0.Event("memo hit")
+	time.Sleep(time.Millisecond)
+	p0.End()
+	p1.End()
+	phase.End()
+	rpc := slide.Child("rpc worker-1")
+	rpc.MarkDegraded()
+	StitchWireSpans(rpc, []WireSpan{{Name: "batch", Parent: -1, DurationNs: int64(time.Millisecond)}},
+		rpc.Start, 2*time.Millisecond)
+	rpc.End()
+	slide.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Find(12)); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	byName := map[string][]map[string]any{}
+	for _, ev := range events {
+		ph, _ := ev["ph"].(string)
+		if ph != "X" && ph != "i" && ph != "M" {
+			t.Fatalf("unexpected event phase %q in %v", ph, ev)
+		}
+		name, _ := ev["name"].(string)
+		byName[name] = append(byName[name], ev)
+	}
+	for _, want := range []string{"slide 12", "map phase", "partition 0", "partition 1", "rpc worker-1", "batch", "memo hit", "process_name", "thread_name"} {
+		if len(byName[want]) == 0 {
+			t.Fatalf("trace missing event %q; have %v", want, buf.String())
+		}
+	}
+
+	// Overlapping siblings must not share a track.
+	tid0 := byName["partition 0"][0]["tid"]
+	tid1 := byName["partition 1"][0]["tid"]
+	if tid0 == tid1 {
+		t.Fatalf("overlapping partitions share tid %v", tid0)
+	}
+
+	// Degradation must survive into args.
+	if args, _ := byName["rpc worker-1"][0]["args"].(map[string]any); args["degraded"] != true {
+		t.Fatalf("rpc span args = %v, want degraded", byName["rpc worker-1"][0]["args"])
+	}
+
+	// Every X event needs ts and dur; children stay inside the root.
+	rootEv := byName["slide 12"][0]
+	rootTs, rootDur := rootEv["ts"].(float64), *durOf(t, rootEv)
+	for name, evs := range byName {
+		for _, ev := range evs {
+			if ev["ph"] != "X" {
+				continue
+			}
+			ts := ev["ts"].(float64)
+			dur := *durOf(t, ev)
+			if ts < rootTs || ts+dur > rootTs+rootDur+0.001 {
+				t.Fatalf("span %q [%v, %v] escapes root [%v, %v]", name, ts, ts+dur, rootTs, rootTs+rootDur)
+			}
+		}
+	}
+}
+
+func durOf(t *testing.T, ev map[string]any) *float64 {
+	t.Helper()
+	d, ok := ev["dur"].(float64)
+	if !ok {
+		t.Fatalf("X event missing dur: %v", ev)
+	}
+	return &d
+}
+
+func TestWriteChromeTraceNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err == nil {
+		t.Fatal("nil root should error")
+	}
+}

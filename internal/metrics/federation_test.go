@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func nodeWith(name string, served int64, faults FaultStats, hists ...NamedSnapshot) NodeStats {
+	return NodeStats{Node: name, Served: served, Faults: faults, Hists: hists}
+}
+
+// TestClusterMergedExactTotals is the federation-math test the issue asks
+// for: merged cluster histogram totals must exactly equal the sum of the
+// per-worker totals — counts, sums, and every individual bucket.
+func TestClusterMergedExactTotals(t *testing.T) {
+	var h1, h2, h3 Histogram
+	for i := 0; i < 100; i++ {
+		h1.Observe(time.Duration(i) * time.Microsecond)
+		h2.Observe(time.Duration(i*i) * time.Microsecond)
+		h3.Observe(time.Duration(i) * time.Millisecond)
+	}
+	c := ClusterStats{Workers: []NodeStats{
+		nodeWith("w1", 10, FaultStats{Retries: 2, RPCLatency: h1.Snapshot()},
+			NamedSnapshot{Name: "batch", Snap: h1.Snapshot()},
+			NamedSnapshot{Name: "decode", Snap: h2.Snapshot()}),
+		nodeWith("w2", 20, FaultStats{HedgesLaunched: 1, RPCLatency: h2.Snapshot()},
+			NamedSnapshot{Name: "batch", Snap: h2.Snapshot()}),
+		nodeWith("w3", 30, FaultStats{CorruptFrames: 5, RPCLatency: h3.Snapshot()},
+			NamedSnapshot{Name: "batch", Snap: h3.Snapshot()},
+			NamedSnapshot{Name: "encode", Snap: h3.Snapshot()}),
+	}}
+
+	m := c.Merged()
+	if m.Served != 60 {
+		t.Fatalf("merged served = %d, want 60", m.Served)
+	}
+	if m.Faults.Retries != 2 || m.Faults.HedgesLaunched != 1 || m.Faults.CorruptFrames != 5 {
+		t.Fatalf("merged faults = %+v", m.Faults)
+	}
+
+	batch, ok := m.Hist("batch")
+	if !ok {
+		t.Fatal("merged stats missing batch histogram")
+	}
+	var wantCount, wantSum int64
+	var wantBuckets [HistBuckets]int64
+	for _, w := range c.Workers {
+		s, _ := w.Hist("batch")
+		wantCount += s.Count
+		wantSum += s.SumNs
+		for i := range s.Counts {
+			wantBuckets[i] += s.Counts[i]
+		}
+	}
+	if batch.Count != wantCount || batch.SumNs != wantSum {
+		t.Fatalf("merged batch count/sum = %d/%d, want %d/%d", batch.Count, batch.SumNs, wantCount, wantSum)
+	}
+	if batch.Counts != wantBuckets {
+		t.Fatal("merged batch buckets differ from per-worker bucket sums")
+	}
+
+	// Name-disjoint histograms survive with their own totals intact.
+	if dec, ok := m.Hist("decode"); !ok || dec.Count != h2.Count() {
+		t.Fatalf("merged decode = %+v ok=%v", dec, ok)
+	}
+	if enc, ok := m.Hist("encode"); !ok || enc.Count != h3.Count() {
+		t.Fatalf("merged encode = %+v ok=%v", enc, ok)
+	}
+	if _, ok := m.Hist("no-such"); ok {
+		t.Fatal("Hist should report missing names")
+	}
+}
+
+// TestConcurrentMergeObserve runs Merge and Observe concurrently (the
+// -race half of the federation test): a pool folding worker histograms
+// while those histograms keep recording must stay torn-free, and the
+// final merged total must equal the sum of everything observed.
+func TestConcurrentMergeObserve(t *testing.T) {
+	const workers = 3
+	const observations = 2000
+	var sources [workers]Histogram
+	var cluster Histogram
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Reader: keep folding mid-run snapshots into a scratch histogram
+	// while writers are active, checking self-consistency of each fold.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var scratch Histogram
+			for i := range sources {
+				scratch.Merge(&sources[i])
+			}
+			s := scratch.Snapshot()
+			if s.Count > s.total() {
+				t.Errorf("torn fold: count %d > bucket total %d", s.Count, s.total())
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < observations; i++ {
+				sources[w].Observe(time.Duration(w*observations+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		// Interleave final merges with still-running writers from other
+		// workers (Merge itself must be race-free against Observe).
+		cluster.Merge(&sources[w])
+	}
+	close(stop)
+	wg.Wait()
+
+	// Re-fold after quiescing: totals must now be exact.
+	var final Histogram
+	var wantCount, wantSum int64
+	for w := 0; w < workers; w++ {
+		final.Merge(&sources[w])
+		wantCount += sources[w].Count()
+		wantSum += int64(sources[w].Sum())
+	}
+	s := final.Snapshot()
+	if s.Count != int64(workers*observations) || s.Count != wantCount {
+		t.Fatalf("final merged count = %d, want %d", s.Count, wantCount)
+	}
+	if s.SumNs != wantSum {
+		t.Fatalf("final merged sum = %d, want %d", s.SumNs, wantSum)
+	}
+	if s.total() != wantCount {
+		t.Fatalf("final merged bucket total = %d, want %d", s.total(), wantCount)
+	}
+}
+
+func TestFaultStatsMerge(t *testing.T) {
+	a := FaultStats{Retries: 1, HedgesLaunched: 2, LocalFallbacks: 3}
+	b := FaultStats{Retries: 10, BreakerOpened: 4, MemoRecomputes: 5}
+	m := a.Merge(b)
+	if m.Retries != 11 || m.HedgesLaunched != 2 || m.LocalFallbacks != 3 ||
+		m.BreakerOpened != 4 || m.MemoRecomputes != 5 {
+		t.Fatalf("merged = %+v", m)
+	}
+	// Merge must be the inverse of Sub: (a+b)−b == a.
+	if got := m.Sub(b); got != a {
+		t.Fatalf("(a+b)-b = %+v, want %+v", got, a)
+	}
+}
+
+func TestClusterStatsString(t *testing.T) {
+	empty := ClusterStats{}
+	if !strings.Contains(empty.String(), "no worker stats") {
+		t.Fatalf("empty cluster string = %q", empty.String())
+	}
+	var h Histogram
+	h.Observe(time.Millisecond)
+	c := ClusterStats{Workers: []NodeStats{
+		nodeWith("w1", 4, FaultStats{Retries: 1}, NamedSnapshot{Name: "batch", Snap: h.Snapshot()}),
+		nodeWith("w2", 6, FaultStats{}),
+	}}
+	s := c.String()
+	for _, want := range []string{"2 workers", "served=10", "w1=4", "w2=6", "batch-p95", "retries=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("cluster string missing %q: %s", want, s)
+		}
+	}
+}

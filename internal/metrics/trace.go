@@ -52,10 +52,11 @@ func (m TraceMode) String() string {
 // Tracer records slide span trees into a bounded ring buffer. It is safe
 // for concurrent use; recording methods never block on readers.
 type Tracer struct {
-	mode   atomic.Int32
-	every  atomic.Int64 // sampling stride for TraceSampled
-	seq    atomic.Int64 // slides offered to StartSlide (sampling counter)
-	active atomic.Pointer[Span]
+	mode    atomic.Int32
+	every   atomic.Int64  // sampling stride for TraceSampled
+	seq     atomic.Int64  // slides offered to StartSlide (sampling counter)
+	traceID atomic.Uint64 // last issued trace correlation ID
+	active  atomic.Pointer[Span]
 
 	mu        sync.Mutex
 	ring      []*Span
@@ -75,6 +76,9 @@ func NewTracer(capacity int) *Tracer {
 	}
 	t := &Tracer{ring: make([]*Span, capacity)}
 	t.every.Store(1)
+	// Trace IDs are unique within the process and very likely unique
+	// across a cluster: a clock-derived base plus a per-tracer counter.
+	t.traceID.Store(uint64(time.Now().UnixNano()) << 16)
 	return t
 }
 
@@ -116,7 +120,7 @@ func (t *Tracer) StartSlide(id uint64, label string) *Span {
 			return nil
 		}
 	}
-	return &Span{ID: id, Name: label, Start: time.Now(), tracer: t}
+	return &Span{ID: id, Trace: t.traceID.Add(1), Name: label, Start: time.Now(), tracer: t}
 }
 
 // SetActive publishes the span cross-cutting components (the dist pool,
@@ -175,6 +179,27 @@ func (t *Tracer) Recent(n int) []*Span {
 	return out
 }
 
+// Find returns the most recently committed slide with the given slide
+// ID, or nil when it was never recorded or already evicted from the ring
+// (the /debug/trace?slide=N lookup).
+func (t *Tracer) Find(id uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 1; i <= len(t.ring); i++ {
+		s := t.ring[(t.next-i+len(t.ring))%len(t.ring)]
+		if s == nil {
+			break
+		}
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
 // Slowest returns up to n retained slides ordered by descending
 // duration — the flame summaries worth reading first.
 func (t *Tracer) Slowest(n int) []*Span {
@@ -201,6 +226,11 @@ type SpanEvent struct {
 type Span struct {
 	// ID is the slide ID (meaningful on root spans).
 	ID uint64
+	// Trace is the trace correlation ID issued by StartSlide — unlike the
+	// slide ID it is unique across restarts, so a cross-process trace
+	// (the dist RPC's TraceID field) never collides between two runs that
+	// both had a slide N.
+	Trace uint64
 	// Name labels the span ("map phase", "partition 3", …).
 	Name string
 	// Start is the span's wall-clock start time.
@@ -220,11 +250,28 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{ID: s.ID, Name: name, Start: time.Now()}
+	c := &Span{ID: s.ID, Trace: s.Trace, Name: name, Start: time.Now()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// SlideID returns the span's slide ID; 0 on a nil receiver (the nil-safe
+// getter RPC request builders use when no slide is being traced).
+func (s *Span) SlideID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ID
+}
+
+// TraceID returns the span's trace correlation ID; 0 on a nil receiver.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Trace
 }
 
 // Event appends a timestamped annotation.

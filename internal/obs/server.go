@@ -10,7 +10,13 @@
 //	/metrics          Prometheus text exposition
 //	/debug/pprof/     Go runtime profiles
 //	/debug/slides     recent slide span traces (?n=, ?slowest=1)
+//	/debug/trace      one slide's span tree as Chrome trace-event JSON (?slide=N)
 //	/debug/tree       live contraction-tree snapshot
+//
+// With cluster sources wired (a dist.Pool driving remote workers),
+// /metrics additionally exposes per-worker labeled families federated
+// over the Stats RPC plus their cluster aggregates, and /debug/trace
+// exports include the stitched worker spans.
 package obs
 
 import (
@@ -42,6 +48,22 @@ type Config struct {
 	// Memo supplies live memoization-layer counters (hit ratio in
 	// /metrics). Typically a closure over (*memo.Store).Stats.
 	Memo func() memo.Stats
+	// Tracer overrides the span source for /debug/slides and /debug/trace
+	// (default Slide.Tracer). A worker daemon, which has no SlideObs,
+	// points this at its WorkerObs tracer to expose batch traces.
+	Tracer *metrics.Tracer
+	// Window supplies the out-of-order window gauges (watermark lag,
+	// bucket-ledger width, late accept/reject counters). Typically
+	// (*sliderrt.Runtime).WindowStats.
+	Window func() sliderrt.WindowStats
+	// Cluster supplies the pool's federated per-worker stats; /metrics
+	// renders them as slider_worker_* families labeled by worker plus
+	// slider_cluster_* aggregates. Typically (*dist.Pool).ClusterStats.
+	Cluster func() metrics.ClusterStats
+	// Node supplies this process's own federation snapshot (a worker
+	// daemon exporting the same slider_worker_* families about itself,
+	// so a scrape of the worker matches the pool's federated view).
+	Node func() metrics.NodeStats
 }
 
 // Server is a running introspection HTTP server.
@@ -63,6 +85,7 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/slides", s.handleSlides)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/tree", s.handleTree)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -74,14 +97,35 @@ func Start(addr string, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// StartForRuntime starts a server wired to everything a runtime exposes.
+// StartForRuntime starts a server wired to everything a runtime exposes,
+// including the cluster-stats source when the runtime's MapRunner is a
+// dist.Pool (or anything else exposing ClusterStats).
 func StartForRuntime(addr string, rt *sliderrt.Runtime) (*Server, error) {
-	return Start(addr, Config{
-		Slide: rt.Observability(),
-		Fault: rt.FaultRecorder(),
-		Tree:  rt.TreeSnapshot,
-		Memo:  func() memo.Stats { return rt.Store().Stats() },
-	})
+	cfg := Config{
+		Slide:  rt.Observability(),
+		Fault:  rt.FaultRecorder(),
+		Tree:   rt.TreeSnapshot,
+		Memo:   func() memo.Stats { return rt.Store().Stats() },
+		Window: rt.WindowStats,
+	}
+	if c, ok := rt.MapRunner().(interface {
+		ClusterStats() metrics.ClusterStats
+	}); ok {
+		cfg.Cluster = c.ClusterStats
+	}
+	return Start(addr, cfg)
+}
+
+// tracer resolves the span source: the explicit override, else the slide
+// bundle's tracer.
+func (s *Server) tracer() *metrics.Tracer {
+	if s.cfg.Tracer != nil {
+		return s.cfg.Tracer
+	}
+	if s.cfg.Slide != nil {
+		return s.cfg.Slide.Tracer
+	}
+	return nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -101,6 +145,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <ul>
 <li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
 <li><a href="/debug/slides">/debug/slides</a> — recent slide span traces (<a href="/debug/slides?slowest=1">slowest</a>)</li>
+<li><a href="/debug/trace">/debug/trace</a> — slide trace as Chrome trace-event JSON (?slide=N; load in Perfetto)</li>
 <li><a href="/debug/tree">/debug/tree</a> — live contraction-tree snapshot</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
 </ul>
@@ -113,11 +158,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // duration instead of recency.
 func (s *Server) handleSlides(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.cfg.Slide == nil || s.cfg.Slide.Tracer == nil {
+	tr := s.tracer()
+	if tr == nil {
 		fmt.Fprintln(w, "no tracer configured")
 		return
 	}
-	tr := s.cfg.Slide.Tracer
 	n := 10
 	if v, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && v > 0 {
 		n = v
@@ -139,6 +184,40 @@ func (s *Server) handleSlides(w http.ResponseWriter, r *http.Request) {
 	for _, sp := range spans {
 		fmt.Fprint(w, sp.Format())
 		fmt.Fprintln(w)
+	}
+}
+
+// handleTrace exports one slide's full span tree — pool phases plus the
+// stitched per-attempt worker spans — as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing. ?slide=N selects the slide;
+// without it the most recently recorded slide is exported.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.tracer()
+	if tr == nil {
+		http.Error(w, "no tracer configured", http.StatusNotFound)
+		return
+	}
+	var root *metrics.Span
+	if q := r.URL.Query().Get("slide"); q != "" {
+		id, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad slide id: "+q, http.StatusBadRequest)
+			return
+		}
+		if root = tr.Find(id); root == nil {
+			http.Error(w, fmt.Sprintf("slide %d not retained (ring keeps the most recent slides)", id), http.StatusNotFound)
+			return
+		}
+	} else if recent := tr.Recent(1); len(recent) > 0 {
+		root = recent[0]
+	} else {
+		http.Error(w, "no slides recorded yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("inline; filename=%q", fmt.Sprintf("slide-%d-trace.json", root.SlideID())))
+	if err := metrics.WriteChromeTrace(w, root); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
@@ -172,10 +251,17 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if o := s.cfg.Slide; o != nil {
+		phaseHeader := false
 		for _, nh := range o.All() {
 			name := "slider_" + nh.Name + "_seconds"
 			if nh.Name == "phase" {
-				writeHistogram(w, name, `phase="`+nh.Phase+`"`, nh.Hist.Snapshot())
+				// One # TYPE header for the whole per-phase family; the
+				// exposition format forbids repeating it per label series.
+				if !phaseHeader {
+					fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+					phaseHeader = true
+				}
+				writeHistogramSeries(w, name, `phase="`+nh.Phase+`"`, nh.Hist.Snapshot())
 			} else {
 				writeHistogram(w, name, "", nh.Hist.Snapshot())
 			}
@@ -215,13 +301,96 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "slider_window_live_splits %d\n", snap.Live)
 		}
 	}
+	if s.cfg.Window != nil {
+		ws := s.cfg.Window()
+		fmt.Fprintln(w, "# HELP slider_window_live_buckets Bucket-ledger width: live window buckets including late inserts (0 for in-order backends).")
+		fmt.Fprintln(w, "# TYPE slider_window_live_buckets gauge")
+		fmt.Fprintf(w, "slider_window_live_buckets %d\n", ws.LiveBuckets)
+		fmt.Fprintln(w, "# HELP slider_window_watermark_lag_buckets How many buckets the effective watermark trails the newest in-order bucket.")
+		fmt.Fprintln(w, "# TYPE slider_window_watermark_lag_buckets gauge")
+		fmt.Fprintf(w, "slider_window_watermark_lag_buckets %d\n", ws.WatermarkLag)
+		fmt.Fprintln(w, "# HELP slider_late_arrivals_total AdvanceLate outcomes: accepted late buckets vs ErrTooLate rejections.")
+		fmt.Fprintln(w, "# TYPE slider_late_arrivals_total counter")
+		fmt.Fprintf(w, "slider_late_arrivals_total{result=\"accept\"} %d\n", ws.LateAccepts)
+		fmt.Fprintf(w, "slider_late_arrivals_total{result=\"reject\"} %d\n", ws.LateRejects)
+	}
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster()
+		if len(cs.Workers) > 0 {
+			writeWorkerFamilies(w, cs.Workers)
+			m := cs.Merged()
+			fmt.Fprintln(w, "# HELP slider_cluster_workers Workers with a federated stats snapshot.")
+			fmt.Fprintln(w, "# TYPE slider_cluster_workers gauge")
+			fmt.Fprintf(w, "slider_cluster_workers %d\n", len(cs.Workers))
+			fmt.Fprintln(w, "# TYPE slider_cluster_served_total counter")
+			fmt.Fprintf(w, "slider_cluster_served_total %d\n", m.Served)
+			fmt.Fprintln(w, "# TYPE slider_cluster_fault_events_total counter")
+			m.Faults.EachCounter(func(name string, v int64) {
+				fmt.Fprintf(w, "slider_cluster_fault_events_total{event=%q} %d\n", name, v)
+			})
+			for _, h := range m.Hists {
+				writeHistogram(w, "slider_cluster_"+h.Name+"_seconds", "", h.Snap)
+			}
+		}
+	}
+	if s.cfg.Node != nil {
+		writeWorkerFamilies(w, []metrics.NodeStats{s.cfg.Node()})
+	}
+}
+
+// writeWorkerFamilies renders per-worker labeled families — served
+// counts, fault counters, and per-phase latency histograms — emitting
+// each family's # TYPE exactly once across all worker label series (the
+// exposition format forbids repeating it).
+func writeWorkerFamilies(w http.ResponseWriter, nodes []metrics.NodeStats) {
+	fmt.Fprintln(w, "# HELP slider_worker_served_total Map tasks executed, by worker (federated over the Stats RPC).")
+	fmt.Fprintln(w, "# TYPE slider_worker_served_total counter")
+	for _, n := range nodes {
+		fmt.Fprintf(w, "slider_worker_served_total{worker=%q} %d\n", n.Node, n.Served)
+	}
+	fmt.Fprintln(w, "# TYPE slider_worker_fault_events_total counter")
+	for _, n := range nodes {
+		n.Faults.EachCounter(func(name string, v int64) {
+			fmt.Fprintf(w, "slider_worker_fault_events_total{worker=%q,event=%q} %d\n", n.Node, name, v)
+		})
+	}
+	// Histogram family names in first-seen order across the nodes.
+	var famOrder []string
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		for _, h := range n.Hists {
+			if !seen[h.Name] {
+				seen[h.Name] = true
+				famOrder = append(famOrder, h.Name)
+			}
+		}
+	}
+	for _, fam := range famOrder {
+		name := "slider_worker_" + fam + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for _, n := range nodes {
+			if snap, ok := n.Hist(fam); ok {
+				writeHistogramSeries(w, name, `worker="`+n.Node+`"`, snap)
+			}
+		}
+	}
 }
 
 // writeHistogram renders one fixed-bucket latency histogram in the
-// Prometheus exposition format: cumulative le buckets in seconds, then
-// _sum and _count. The count is the bucket total, so the series is
-// always self-consistent even against in-flight recordings.
+// Prometheus exposition format: the family's # TYPE header followed by
+// one label series.
 func writeHistogram(w http.ResponseWriter, name, label string, snap metrics.HistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	writeHistogramSeries(w, name, label, snap)
+}
+
+// writeHistogramSeries renders one histogram label series without the
+// # TYPE header (families with several label series — per-phase,
+// per-worker — emit the header once and call this per series):
+// cumulative le buckets in seconds, then _sum and _count. The count is
+// the bucket total, so the series is always self-consistent even
+// against in-flight recordings.
+func writeHistogramSeries(w http.ResponseWriter, name, label string, snap metrics.HistogramSnapshot) {
 	sep := func(extra string) string {
 		switch {
 		case label == "" && extra == "":
@@ -234,7 +403,6 @@ func writeHistogram(w http.ResponseWriter, name, label string, snap metrics.Hist
 			return "{" + label + "," + extra + "}"
 		}
 	}
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	var cum int64
 	for i, c := range snap.Counts {
 		cum += c

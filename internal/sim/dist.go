@@ -47,6 +47,7 @@ func newChaosCluster(n int) (*chaosCluster, error) {
 			c.Close()
 			return nil, err
 		}
+		w.SetObs(dist.NewWorkerObs())
 		c.workers = append(c.workers, w)
 		c.addrs = append(c.addrs, w.Addr())
 	}
@@ -56,6 +57,7 @@ func newChaosCluster(n int) (*chaosCluster, error) {
 		BackoffMax:      50 * time.Millisecond,
 		BreakerCooldown: 5 * time.Millisecond,
 		HealthInterval:  5 * time.Millisecond,
+		StatsInterval:   5 * time.Millisecond,
 		Hedge:           true,
 		HedgeMin:        20 * time.Millisecond,
 		Faults:          c.rec,
@@ -105,6 +107,7 @@ func (c *chaosCluster) restart(node int) error {
 		// degradation ladder already tolerate.
 		return nil
 	}
+	w.SetObs(dist.NewWorkerObs())
 	c.workers[i] = w
 	return nil
 }

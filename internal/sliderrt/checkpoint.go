@@ -362,6 +362,7 @@ func Restore(job *mapreduce.Job, cfg Config, r io.Reader) (*Runtime, error) {
 			rt.bucketSeq = uint64(st.WindowBuckets)
 		}
 	}
+	rt.publishWindowGauges()
 	rt.started = true
 	return rt, nil
 }

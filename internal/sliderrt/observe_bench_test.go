@@ -8,11 +8,40 @@ import (
 	"slider/internal/metrics"
 )
 
-// benchmarkSlides measures steady-state Advance latency with the given
-// instrumentation bundle (nil = the Config.Obs-unset path).
-func benchmarkSlides(b *testing.B, obs *metrics.SlideObs) {
+// obsBenchBackends are the backend configurations the tracing-off
+// overhead bound is pinned on: the Variable-mode folding tree (the
+// original pin), the Fixed-mode O(1) DABA fast path, the rotating
+// contraction tree, and the out-of-order finger tree. Each returns a
+// fresh Config because New mutates some knobs in place.
+func obsBenchBackends() []struct {
+	name string
+	cfg  func() Config
+} {
+	return []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"folding", func() Config {
+			return Config{Mode: Variable, Memo: testMemoConfig()}
+		}},
+		{"daba", func() Config {
+			return Config{Mode: Fixed, BucketSplits: 1, WindowBuckets: 8, Memo: testMemoConfig()}
+		}},
+		{"rotating", func() Config {
+			return Config{Mode: Fixed, Backend: BackendRotating, BucketSplits: 1, WindowBuckets: 8, Memo: testMemoConfig()}
+		}},
+		{"fingertree", func() Config {
+			return Config{Mode: Fixed, BucketSplits: 1, WindowBuckets: 8, AllowedLateness: 1, Memo: testMemoConfig()}
+		}},
+	}
+}
+
+// benchmarkSlides measures steady-state Advance latency on cfg with the
+// given instrumentation bundle (nil = the Config.Obs-unset path).
+func benchmarkSlides(b *testing.B, cfg Config, obs *metrics.SlideObs) {
 	job := wordCountJob()
-	rt, err := New(job, Config{Mode: Variable, Memo: testMemoConfig(), Obs: obs})
+	cfg.Obs = obs
+	rt, err := New(job, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -31,85 +60,102 @@ func benchmarkSlides(b *testing.B, obs *metrics.SlideObs) {
 	}
 }
 
-func BenchmarkSlideObsNone(b *testing.B) { benchmarkSlides(b, nil) }
-
-func BenchmarkSlideObsOff(b *testing.B) {
-	obs := metrics.NewSlideObs()
-	obs.Tracer.SetMode(metrics.TraceOff, 0)
-	benchmarkSlides(b, obs)
+// BenchmarkSlideObs runs <backend>/<level> sub-benchmarks over every
+// pinned backend and instrumentation level.
+func BenchmarkSlideObs(b *testing.B) {
+	offObs := func() *metrics.SlideObs {
+		o := metrics.NewSlideObs()
+		o.Tracer.SetMode(metrics.TraceOff, 0)
+		return o
+	}
+	sampledObs := func() *metrics.SlideObs {
+		o := metrics.NewSlideObs()
+		o.Tracer.SetMode(metrics.TraceSampled, 16)
+		return o
+	}
+	for _, be := range obsBenchBackends() {
+		be := be
+		b.Run(be.name, func(b *testing.B) {
+			b.Run("None", func(b *testing.B) { benchmarkSlides(b, be.cfg(), nil) })
+			b.Run("Off", func(b *testing.B) { benchmarkSlides(b, be.cfg(), offObs()) })
+			b.Run("Sampled", func(b *testing.B) { benchmarkSlides(b, be.cfg(), sampledObs()) })
+			b.Run("Full", func(b *testing.B) { benchmarkSlides(b, be.cfg(), metrics.NewSlideObs()) })
+		})
+	}
 }
 
-func BenchmarkSlideObsSampled(b *testing.B) {
-	obs := metrics.NewSlideObs()
-	obs.Tracer.SetMode(metrics.TraceSampled, 16)
-	benchmarkSlides(b, obs)
-}
-
-func BenchmarkSlideObsFull(b *testing.B) { benchmarkSlides(b, metrics.NewSlideObs()) }
-
-// TestObsOffOverhead pins the acceptance bound: with tracing off, the
-// instrumented slide path (histogram observations, nil-span checks, the
-// snapshot request check) must cost < 2% over running with no Obs at all.
-// Min-of-k timing over interleaved rounds suppresses scheduler noise.
+// TestObsOffOverhead pins the acceptance bound on every backend: with
+// tracing off, the instrumented slide path (histogram observations,
+// nil-span checks, the snapshot request check) must cost < 2% over
+// running with no Obs at all. Min-of-k timing over interleaved rounds
+// suppresses scheduler noise.
 func TestObsOffOverhead(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive; skipped in -short")
 	}
 	job := wordCountJob()
-	const slides = 200
+	const slides = 400
 	initial := genSplits(0, 8, 4, 7)
 	adds := make([][]mapreduce.Split, slides)
 	for i := range adds {
 		adds[i] = genSplits(8+i, 1, 4, 7)
 	}
 
-	run := func(obs *metrics.SlideObs) time.Duration {
-		rt, err := New(job, Config{Mode: Variable, Memo: testMemoConfig(), Obs: obs})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := rt.Initial(initial); err != nil {
-			t.Fatal(err)
-		}
-		start := time.Now()
-		for i := 0; i < slides; i++ {
-			if _, err := rt.Advance(1, adds[i]); err != nil {
-				t.Fatal(err)
+	for _, be := range obsBenchBackends() {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			run := func(obs *metrics.SlideObs) time.Duration {
+				cfg := be.cfg()
+				cfg.Obs = obs
+				rt, err := New(job, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := rt.Initial(initial); err != nil {
+					t.Fatal(err)
+				}
+				start := time.Now()
+				for i := 0; i < slides; i++ {
+					if _, err := rt.Advance(1, adds[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return time.Since(start)
 			}
-		}
-		return time.Since(start)
-	}
-	offObs := func() *metrics.SlideObs {
-		o := metrics.NewSlideObs()
-		o.Tracer.SetMode(metrics.TraceOff, 0)
-		return o
-	}
+			offObs := func() *metrics.SlideObs {
+				o := metrics.NewSlideObs()
+				o.Tracer.SetMode(metrics.TraceOff, 0)
+				return o
+			}
 
-	run(nil) // warm-up: page in code and memo structures
-	run(offObs())
-	measure := func(rounds int) (none, off time.Duration) {
-		none, off = time.Duration(1<<62), time.Duration(1<<62)
-		for r := 0; r < rounds; r++ { // interleaved so drift hits both arms
-			if d := run(nil); d < none {
-				none = d
+			run(nil) // warm-up: page in code and memo structures
+			run(offObs())
+			measure := func(rounds int) (none, off time.Duration) {
+				none, off = time.Duration(1<<62), time.Duration(1<<62)
+				for r := 0; r < rounds; r++ { // interleaved so drift hits both arms
+					if d := run(nil); d < none {
+						none = d
+					}
+					if d := run(offObs()); d < off {
+						off = d
+					}
+				}
+				return none, off
 			}
-			if d := run(offObs()); d < off {
-				off = d
+			none, off := measure(5)
+			ratio := float64(off) / float64(none)
+			for retries := 0; ratio > 1.02 && retries < 2; retries++ {
+				// Retry with more rounds before declaring a regression: a
+				// noisy run must not fail CI, a real regression will keep
+				// reproducing.
+				none, off = measure(10)
+				ratio = float64(off) / float64(none)
 			}
-		}
-		return none, off
-	}
-	none, off := measure(5)
-	ratio := float64(off) / float64(none)
-	if ratio > 1.02 {
-		// One retry with more rounds before declaring a regression: a
-		// single noisy run must not fail CI, a real regression will.
-		none, off = measure(10)
-		ratio = float64(off) / float64(none)
-	}
-	t.Logf("obs-off overhead: none=%v off=%v ratio=%.4f", none, off, ratio)
-	if ratio > 1.02 {
-		t.Fatalf("tracing-off overhead %.2f%% exceeds the 2%% budget (none=%v off=%v)",
-			(ratio-1)*100, none, off)
+			t.Logf("%s obs-off overhead: none=%v off=%v ratio=%.4f", be.name, none, off, ratio)
+			if ratio > 1.02 {
+				t.Fatalf("%s: tracing-off overhead %.2f%% exceeds the 2%% budget (none=%v off=%v)",
+					be.name, (ratio-1)*100, none, off)
+			}
+		})
 	}
 }

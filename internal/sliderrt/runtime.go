@@ -93,6 +93,10 @@ type Runtime struct {
 	// readers (/debug/tree); snapReq asks the next slide to refresh it.
 	treeSnap atomic.Pointer[TreeSnapshot]
 	snapReq  atomic.Bool
+
+	// gauges holds the concurrent-read-safe out-of-order window gauges
+	// (see window_stats.go).
+	gauges windowGauges
 }
 
 // New returns a runtime for the job under the given configuration.
@@ -548,6 +552,7 @@ func (rt *Runtime) AdvanceLate(lateness int, late []mapreduce.Split) (*RunResult
 		return nil, fmt.Errorf("%w: lateness=%d with %d live buckets", ErrBadAdvance, lateness, len(rt.bucketSizes))
 	}
 	if lateness > rt.cfg.AllowedLateness {
+		rt.gauges.lateRejects.Add(1)
 		return nil, fmt.Errorf("%w: lateness %d exceeds AllowedLateness %d", ErrTooLate, lateness, rt.cfg.AllowedLateness)
 	}
 	// Saturating: a lateness deeper than the in-order clock (possible when
@@ -558,6 +563,7 @@ func (rt *Runtime) AdvanceLate(lateness int, late []mapreduce.Split) (*RunResult
 		target = rt.bucketSeq - uint64(lateness)
 	}
 	if target < rt.cfg.Watermark {
+		rt.gauges.lateRejects.Add(1)
 		return nil, fmt.Errorf("%w: bucket sequence %d is below watermark %d", ErrTooLate, target, rt.cfg.Watermark)
 	}
 	rec := metrics.NewRecorder()
@@ -611,6 +617,7 @@ func (rt *Runtime) AdvanceLate(lateness int, late []mapreduce.Split) (*RunResult
 	reducePh.end()
 	statsFg := rt.treeStats()
 	rt.recordTreeCounters(rec, statsDelta(statsBefore, statsFg))
+	rt.gauges.lateAccepts.Add(1)
 	res := rt.finish(out, rec, bg, statsBefore)
 	res.TreeStats = statsDelta(statsBefore, statsFg)
 	so.finish(res)
@@ -1131,6 +1138,7 @@ func (rt *Runtime) spaceBytes() int64 {
 // TreeStatsBackground with precise foreground/background deltas.
 func (rt *Runtime) finish(out mapreduce.Output, rec, bg *metrics.Recorder, before core.Stats) *RunResult {
 	rt.runs++
+	rt.publishWindowGauges()
 	return &RunResult{
 		Output:     out,
 		Report:     rec.Snapshot(),
@@ -1162,6 +1170,11 @@ func makeItems(base uint64, payloads []Payload) []core.Item[Payload] {
 // Store exposes the memoization layer (for fault injection in tests and
 // the Table 2 experiment).
 func (rt *Runtime) Store() *memo.Store { return rt.store }
+
+// MapRunner returns the configured map-task runner, or nil when map
+// tasks run in-process. The obs server type-asserts it for cluster
+// metrics federation (a dist.Pool implements ClusterStats).
+func (rt *Runtime) MapRunner() mapreduce.MapRunner { return rt.cfg.MapRunner }
 
 // FaultStats snapshots the degradation event counters (shared with the
 // dist pool when Config.Faults is).

@@ -279,9 +279,26 @@ type (
 	// WorkerPool dispatches map tasks across workers and implements
 	// the Config.MapRunner hook.
 	WorkerPool = dist.Pool
+	// WorkerPoolConfig tunes a pool's fault tolerance, tracing, and
+	// stats federation (see NewWorkerPoolConfig).
+	WorkerPoolConfig = dist.PoolConfig
+	// WorkerObs bundles a worker's batch tracer, fault counters, and
+	// per-phase latency histograms; install one with Worker.SetObs to
+	// make the worker answer Stats RPCs and stitch spans into the
+	// pool's slide traces.
+	WorkerObs = dist.WorkerObs
 	// JobRegistry maps job names to factories on both sides of the
 	// wire.
 	JobRegistry = dist.Registry
+	// NodeStats is one worker's self-reported counters and histograms,
+	// as federated by the pool's Stats polling.
+	NodeStats = metrics.NodeStats
+	// ClusterStats is the pool's latest federated view of every live
+	// worker; Merged folds it into cluster-level totals.
+	ClusterStats = metrics.ClusterStats
+	// WindowStats is a concurrent-read-safe snapshot of the runtime's
+	// out-of-order window gauges (see Runtime.WindowStats).
+	WindowStats = sliderrt.WindowStats
 )
 
 // RegisterJob binds a job factory to a name in the process-wide registry
@@ -302,6 +319,16 @@ func NewWorker(name, addr string, registry *JobRegistry) (*Worker, error) {
 func NewWorkerPool(jobName string, addrs []string) (*WorkerPool, error) {
 	return dist.NewPool(jobName, addrs)
 }
+
+// NewWorkerPoolConfig is NewWorkerPool with explicit fault-tolerance,
+// tracing, and stats-federation configuration.
+func NewWorkerPoolConfig(jobName string, addrs []string, cfg WorkerPoolConfig) (*WorkerPool, error) {
+	return dist.NewPoolConfig(jobName, addrs, cfg)
+}
+
+// NewWorkerObs returns a worker instrumentation bundle (batch span
+// tracer, fault counters, per-phase histograms) for Worker.SetObs.
+func NewWorkerObs() *WorkerObs { return dist.NewWorkerObs() }
 
 // Observability (see internal/metrics, internal/obs): per-slide latency
 // histograms, span traces, fault-event counters, and the introspection
